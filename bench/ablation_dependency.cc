@@ -1,0 +1,141 @@
+// AB-DEP — §5(3): "How should an LB recognize that a server appears to be
+// slow not because it is slow but [because] one of its downstream
+// dependencies is slow? How should an LB shift traffic if a dependency is
+// slow?"
+//
+// Two scenarios on the Fig. 3 rig, with servers calling a downstream
+// dependency on half their requests:
+//  * private dependency — only server 0's downstream degrades by 1 ms.
+//    Indistinguishable from server slowness at the LB, and that is fine:
+//    shifting to server 1 genuinely helps.
+//  * shared dependency — both servers call the *same* downstream, which
+//    degrades. The right answer is to hold fire: no routing decision can
+//    dodge a shared downstream. Whether the controller realizes that
+//    depends on the score statistic: a fast EWMA sees transient gaps in the
+//    bimodal per-request latencies and thrashes; a windowed p95 sees both
+//    tails inflate together and stays quiet. Both variants are measured.
+#include <cstdio>
+#include <iostream>
+
+#include "scenario/cluster_rig.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+using namespace inband;
+
+namespace {
+
+struct Row {
+  const char* scenario;
+  double p95_before_us;
+  double p95_after_us;
+  std::uint64_t shifts;
+  double share_s0;
+};
+
+Row run_case(const char* name, bool shared, std::int64_t duration_s,
+             LatencyScoreMode score_mode = LatencyScoreMode::kEwma,
+             double global_guard = 0.0, SimTime ewma_tau = ms(2),
+             bool hold_fire = false) {
+  ClusterRigConfig cfg;
+  cfg.mode = LbMode::kInband;
+  cfg.duration = sec(duration_s);
+  cfg.inject_time = sec(duration_s * 10);  // no link fault; deps instead
+  cfg.client.requests_per_conn = 50;
+  cfg.server.workers = 8;
+  cfg.inband.ensemble.epoch = ms(16);
+  cfg.inband.controller.cooldown = ms(1);
+  cfg.inband.controller.warmup = ms(200);  // skip cold-start transients
+  cfg.inband.tracker.mode = score_mode;
+  cfg.inband.tracker.window = ms(20);
+  cfg.inband.tracker.ewma_tau = ewma_tau;
+  cfg.inband.controller.global_guard = global_guard;
+  if (hold_fire) cfg.inband.controller.rel_threshold = 1e9;  // oracle: never shift
+  if (global_guard > 0.0) cfg.inband.controller.confirm = ms(2);
+  if (score_mode == LatencyScoreMode::kWindowedP95) {
+    // Tail scores amplify estimator noise (an occasional multi-RTT sample
+    // parks in the window's p95 for a full window), so tail-based control
+    // needs wider trigger margins than EWMA-based control.
+    cfg.inband.controller.rel_threshold = 3.0;
+    cfg.inband.controller.min_abs_gap = us(300);
+  }
+  ClusterRig rig{cfg};
+
+  const SimTime degrade_at = cfg.duration / 2;
+  // Dependencies outlive the run; they degrade mid-way by 1 ms.
+  // Healthy dependencies add negligible latency; the experiment isolates
+  // what happens when one degrades.
+  SharedDependency shared_dep{0};
+  SharedDependency private_dep0{0};
+  SharedDependency private_dep1{0};
+  if (shared) {
+    shared_dep.inject(degrade_at, ms(1));
+    rig.server(0).add_injector(
+        std::make_unique<DependencyInjector>(shared_dep, 0.5));
+    rig.server(1).add_injector(
+        std::make_unique<DependencyInjector>(shared_dep, 0.5));
+  } else {
+    private_dep0.inject(degrade_at, ms(1));
+    rig.server(0).add_injector(
+        std::make_unique<DependencyInjector>(private_dep0, 0.5));
+    rig.server(1).add_injector(
+        std::make_unique<DependencyInjector>(private_dep1, 0.5));
+  }
+  rig.run();
+
+  const auto get = rig.get_latency_samples();
+  auto* policy = rig.inband_policy();
+  const auto shares = policy->table().shares();
+  return {name,
+          percentile_in_window(get, degrade_at / 2, degrade_at, 0.95) / 1e3,
+          percentile_in_window(get, (degrade_at + cfg.duration) / 2,
+                               cfg.duration, 0.95) /
+              1e3,
+          policy->controller().shifts(), shares[0]};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t duration_s = 6;
+
+  FlagSet flags{"ablation: slow downstream dependencies (paper §5.3)"};
+  flags.add("duration_s", &duration_s, "simulated seconds");
+  if (!flags.parse(argc, argv)) return 1;
+
+  CsvWriter csv{std::cout};
+  csv.header("scenario", "p95_before_us", "p95_after_us", "shifts",
+             "share_s0");
+  for (const Row& r :
+       {run_case("private_dependency", false, duration_s),
+        run_case("shared_dependency", true, duration_s),
+        run_case("shared_dependency_p95score", true, duration_s,
+                 LatencyScoreMode::kWindowedP95),
+        run_case("private_dependency_p95score", false, duration_s,
+                 LatencyScoreMode::kWindowedP95),
+        run_case("shared_dependency_guard", true, duration_s,
+                 LatencyScoreMode::kEwma, 3.0),
+        run_case("private_dependency_guard", false, duration_s,
+                 LatencyScoreMode::kEwma, 3.0),
+        run_case("shared_dep_guard_smooth", true, duration_s,
+                 LatencyScoreMode::kEwma, 3.0, ms(20)),
+        run_case("private_dep_guard_smooth", false, duration_s,
+                 LatencyScoreMode::kEwma, 3.0, ms(20)),
+        run_case("shared_dep_oracle_holdfire", true, duration_s,
+                 LatencyScoreMode::kEwma, 0.0, ms(2), true)}) {
+    csv.row(r.scenario, r.p95_before_us, r.p95_after_us, r.shifts,
+            r.share_s0);
+  }
+
+  std::fprintf(stderr,
+               "\nreading the rows: a private dependency fault is handled "
+               "perfectly by the paper's mechanism (p95 recovers). A shared "
+               "fault is where it breaks: the ideal response is to hold fire "
+               "(oracle row = the true floor), but every controller variant "
+               "still shifts — the guard, confirmation and smoothing each "
+               "close one trigger for spurious shifts, yet queue-coupled "
+               "oscillation remains: with a shared capacity fault the server "
+               "you shift toward genuinely slows down. Quantifies the open "
+               "questions in paper S5(3)/S5(4); see EXPERIMENTS.md.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// AB-EPOCH / AB-ALPHA — ablations of the paper's two hard-coded constants:
+// the epoch E = 64 ms (Algorithm 2) and the shift fraction α = 10% (§3).
+//
+//  * epoch sweep (Fig. 2 rig): estimator accuracy and adaptation lag vs. E;
+//  * alpha sweep (Fig. 3 rig): recovery speed and post-recovery tail vs. α.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/ensemble_timeout.h"
+#include "scenario/backlogged_rig.h"
+#include "scenario/cluster_rig.h"
+#include "util/csv.h"
+#include "util/flags.h"
+
+using namespace inband;
+
+namespace {
+
+void epoch_sweep(std::int64_t duration_ms, CsvWriter& csv) {
+  BackloggedRigConfig cfg;
+  cfg.duration = ms(duration_ms);
+  cfg.step_time = ms(duration_ms / 2);
+  cfg.step_extra = us(1500);
+  BackloggedRig rig{cfg};
+  rig.run();  // one trace, replayed under every epoch setting
+
+  for (std::int64_t epoch_ms_v : {8, 16, 32, 64, 128, 256, 512}) {
+    EnsembleConfig ecfg;
+    ecfg.epoch = ms(epoch_ms_v);
+    EnsembleTimeout est{ecfg};
+    EnsembleState state;
+    std::vector<Sample> samples;
+    SimTime adapted_at = kNoTime;
+    SimTime prev_delta = kNoTime;
+    for (SimTime t : rig.arrivals()) {
+      if (SimTime v = est.on_packet(state, t); v != kNoTime) {
+        samples.push_back({t, v});
+      }
+      const SimTime d = est.current_delta(state);
+      if (t >= cfg.step_time && adapted_at == kNoTime && prev_delta != kNoTime &&
+          d != prev_delta) {
+        adapted_at = t;
+      }
+      if (t < cfg.step_time) prev_delta = d;
+    }
+    std::vector<Sample> warm;
+    for (const auto& s : samples) {
+      if (s.t > 2 * ms(epoch_ms_v)) warm.push_back(s);
+    }
+    const auto acc = summarize_accuracy(warm, rig.ground_truth());
+    csv.row("epoch_sweep", epoch_ms_v, 100 * acc.median_rel_error,
+            100 * acc.p90_rel_error,
+            adapted_at == kNoTime ? -1.0 : to_ms(adapted_at - cfg.step_time),
+            samples.size());
+  }
+}
+
+void alpha_sweep(std::int64_t duration_s, CsvWriter& csv, bool restore) {
+  for (double alpha : {0.02, 0.05, 0.10, 0.20, 0.50}) {
+    ClusterRigConfig cfg;
+    cfg.mode = LbMode::kInband;
+    cfg.duration = sec(duration_s);
+    cfg.inject_time = cfg.duration / 2;
+    cfg.inject_extra = ms(1);
+    cfg.client.requests_per_conn = 50;
+    cfg.server.workers = 8;
+    cfg.inband.ensemble.epoch = ms(16);
+    cfg.inband.controller.alpha = alpha;
+    cfg.inband.controller.cooldown = ms(1);
+    cfg.share_sample_interval = ms(1);
+    if (restore) {
+      // The §5(4) extension: without it, one aggressive shift triggered by
+      // a transient can permanently drain a healthy server (it stops
+      // producing samples, so the controller can never exonerate it).
+      cfg.inband.restore_interval = ms(10);
+      cfg.inband.restore_step = 0.05;
+    }
+    ClusterRig rig{cfg};
+    rig.run();
+
+    SimTime drained_at = kNoTime;
+    for (const auto& snap : rig.share_history()) {
+      if (snap.t >= cfg.inject_time && !snap.shares.empty() &&
+          snap.shares[0] < 0.05) {
+        drained_at = snap.t;
+        break;
+      }
+    }
+    const double p95_late = percentile_in_window(
+        rig.get_latency_samples(), (cfg.inject_time + cfg.duration) / 2,
+        cfg.duration, 0.95);
+    auto* policy = rig.inband_policy();
+    csv.row(restore ? "alpha_sweep_restore" : "alpha_sweep", alpha,
+            drained_at == kNoTime ? -1.0 : to_ms(drained_at - cfg.inject_time),
+            p95_late / 1e3,
+            static_cast<double>(policy->controller().shifts()),
+            rig.records().size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t epoch_rig_ms = 4000;
+  std::int64_t alpha_rig_s = 6;
+
+  FlagSet flags{"ablations of E (epoch) and alpha (shift fraction)"};
+  flags.add("epoch_rig_ms", &epoch_rig_ms, "Fig2-rig length for epoch sweep");
+  flags.add("alpha_rig_s", &alpha_rig_s, "Fig3-rig length for alpha sweep");
+  if (!flags.parse(argc, argv)) return 1;
+
+  CsvWriter csv{std::cout};
+  // Generic columns; meaning depends on the sweep (see header comment):
+  // epoch_sweep: param=E_ms, a=median_err%, b=p90_err%, c=adapt_lag_ms, d=samples
+  // alpha_sweep: param=alpha, a=drain_ms, b=p95_late_us, c=shifts, d=requests
+  csv.header("sweep", "param", "a", "b", "c", "d");
+  epoch_sweep(epoch_rig_ms, csv);
+  alpha_sweep(alpha_rig_s, csv, /*restore=*/false);
+  alpha_sweep(alpha_rig_s, csv, /*restore=*/true);
+
+  std::fprintf(stderr,
+               "\nepoch_sweep columns: E_ms, median_err%%, p90_err%%, "
+               "adapt_lag_ms, samples\n"
+               "alpha_sweep columns: alpha, drain_time_ms, p95_late_us, "
+               "shifts, requests\n");
+  return 0;
+}

@@ -1,0 +1,199 @@
+// PERF — microbenchmarks of the per-packet dataplane cost (§2.4: LBs are
+// operationally CPU-bound, so in-band measurement must be cheap).
+//
+// google-benchmark binary: measures the per-packet cost of Algorithm 1, the
+// k=7 ensemble of Algorithm 2, the per-flow state lookup, conntrack, Maglev
+// lookup, the whole InbandLbPolicy::on_packet path, and Maglev table builds.
+#include <benchmark/benchmark.h>
+
+#include "core/ensemble_timeout.h"
+#include "core/fixed_timeout.h"
+#include "core/handshake_rtt.h"
+#include "core/flow_state_table.h"
+#include "core/inband_lb_policy.h"
+#include "lb/conntrack.h"
+#include "lb/maglev.h"
+
+namespace inband {
+namespace {
+
+BackendPool make_pool(int n) {
+  BackendPool pool;
+  for (int i = 0; i < n; ++i) {
+    pool.push_back({static_cast<BackendId>(i), "backend" + std::to_string(i),
+                    make_ipv4(10, 2, 0, static_cast<std::uint8_t>(1 + i)), 1,
+                    true});
+  }
+  return pool;
+}
+
+FlowKey flow_n(std::uint32_t n) {
+  return {{make_ipv4(10, 0, 0, 1 + (n & 0x3f)),
+           static_cast<std::uint16_t>(1024 + (n % 50000))},
+          {make_ipv4(10, 1, 0, 1), 80},
+          IpProto::kTcp};
+}
+
+void BM_FixedTimeout_OnPacket(benchmark::State& state) {
+  FixedTimeout ft{us(256)};
+  FixedTimeoutState s;
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += us(50);
+    benchmark::DoNotOptimize(ft.on_packet(s, t));
+  }
+}
+BENCHMARK(BM_FixedTimeout_OnPacket);
+
+void BM_Ensemble_OnPacket(benchmark::State& state) {
+  EnsembleTimeout est{{}};
+  EnsembleState s;
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += us(50);
+    benchmark::DoNotOptimize(est.on_packet(s, t));
+  }
+}
+BENCHMARK(BM_Ensemble_OnPacket);
+
+void BM_FlowTable_GetOrCreate(benchmark::State& state) {
+  FlowStateTable table;
+  // Pre-populate a working set.
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < flows; ++i) table.get_or_create(flow_n(i), 0);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.get_or_create(flow_n(i++ % flows), 1));
+  }
+}
+BENCHMARK(BM_FlowTable_GetOrCreate)->Arg(1024)->Arg(65536);
+
+void BM_Conntrack_Lookup(benchmark::State& state) {
+  ConnTracker ct;
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < flows; ++i) ct.insert(flow_n(i), i % 4, 0);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ct.lookup(flow_n(i++ % flows), 1));
+  }
+}
+BENCHMARK(BM_Conntrack_Lookup)->Arg(1024)->Arg(65536);
+
+void BM_Maglev_Lookup(benchmark::State& state) {
+  MaglevTable table{65537};
+  table.build(make_pool(8));
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(flow_n(i++)));
+  }
+}
+BENCHMARK(BM_Maglev_Lookup);
+
+void BM_Maglev_Build(benchmark::State& state) {
+  const auto pool = make_pool(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MaglevTable table{65537};
+    table.build(pool);
+    benchmark::DoNotOptimize(table.raw_table().data());
+  }
+}
+BENCHMARK(BM_Maglev_Build)->Arg(2)->Arg(16)->Arg(128)->Unit(
+    benchmark::kMillisecond);
+
+void BM_Maglev_ShiftSlots(benchmark::State& state) {
+  MaglevTable table{65537};
+  const auto pool = make_pool(8);
+  table.build(pool);
+  for (auto _ : state) {
+    table.shift_slots(0, 0.01);
+    // Rebuild occasionally so backend 0 does not run dry.
+    if (table.slots_owned(0) < 656) {
+      state.PauseTiming();
+      table.build(pool);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_Maglev_ShiftSlots);
+
+void BM_InbandPolicy_OnPacket(benchmark::State& state) {
+  InbandPolicyConfig cfg;
+  cfg.maglev_table_size = 65537;
+  InbandLbPolicy policy{make_pool(8), cfg};
+  Packet pkt;
+  pkt.payload_len = 100;
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  SimTime t = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    t += us(5);
+    pkt.flow = flow_n(i % flows);
+    policy.on_packet(pkt, i % 8, t, false);
+  }
+  state.counters["samples"] =
+      static_cast<double>(policy.samples_total());
+}
+BENCHMARK(BM_InbandPolicy_OnPacket)->Arg(64)->Arg(4096);
+
+void BM_HandshakeRtt_OnPacket(benchmark::State& state) {
+  HandshakeRttEstimator est;
+  SimTime t = 0;
+  std::uint32_t i = 0;
+  Packet syn;
+  syn.flags = tcpflag::kSyn;
+  Packet ack;
+  ack.flags = tcpflag::kAck;
+  for (auto _ : state) {
+    ++i;
+    t += us(10);
+    syn.flow = ack.flow = flow_n(i);
+    est.on_packet(syn, t);
+    benchmark::DoNotOptimize(est.on_packet(ack, t + us(100)));
+  }
+}
+BENCHMARK(BM_HandshakeRtt_OnPacket);
+
+void BM_Maglev_WeightedRebuild(benchmark::State& state) {
+  auto pool = make_pool(8);
+  for (auto& b : pool) b.weight = 1000;
+  std::uint32_t flip = 0;
+  for (auto _ : state) {
+    pool[0].weight = 1000 - 100 * (flip++ % 2);  // alternate 1000/900
+    MaglevTable table{65537};
+    table.build(pool);
+    benchmark::DoNotOptimize(table.raw_table().data());
+  }
+}
+BENCHMARK(BM_Maglev_WeightedRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_InbandPolicy_OnPacket_ClientFloor(benchmark::State& state) {
+  InbandPolicyConfig cfg;
+  cfg.maglev_table_size = 65537;
+  cfg.normalize_client_floor = true;
+  InbandLbPolicy policy{make_pool(8), cfg};
+  Packet pkt;
+  pkt.payload_len = 100;
+  SimTime t = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    t += us(5);
+    pkt.flow = flow_n(i % 4096);
+    policy.on_packet(pkt, i % 8, t, false);
+  }
+}
+BENCHMARK(BM_InbandPolicy_OnPacket_ClientFloor);
+
+void BM_HashFlow(benchmark::State& state) {
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash_flow(flow_n(i++)));
+  }
+}
+BENCHMARK(BM_HashFlow);
+
+}  // namespace
+}  // namespace inband
+
+BENCHMARK_MAIN();

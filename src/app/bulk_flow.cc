@@ -1,0 +1,46 @@
+#include "app/bulk_flow.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+BulkSender::BulkSender(TcpHost& host, Endpoint remote, TcpConfig config)
+    : host_{host}, remote_{remote}, config_{config} {}
+
+void BulkSender::start() {
+  INBAND_ASSERT(conn_ == nullptr, "start() called twice");
+  conn_ = host_.stack().connect(remote_, config_);
+  auto& cb = conn_->callbacks();
+  cb.on_established = [this](TcpConnection&) { top_up(); };
+  cb.on_rtt_sample = [this](TcpConnection&, SimTime rtt) {
+    ++rtt_samples_;
+    if (recorder_) recorder_(host_.sim().now(), rtt);
+  };
+  cb.on_closed = [this](TcpConnection&, bool) { conn_ = nullptr; };
+  conn_->open();
+}
+
+void BulkSender::top_up() {
+  // Payload bytes are pure counters in the model, so "backlogged" is cheap:
+  // queue a practically infinite amount up front.
+  conn_->send_bytes(1ULL << 42);
+}
+
+void BulkSender::stop() {
+  if (conn_ != nullptr && conn_->can_send()) conn_->abort();
+}
+
+std::uint64_t BulkSender::bytes_acked() const {
+  return conn_ == nullptr ? 0 : conn_->snd_una();
+}
+
+BulkSink::BulkSink(TcpHost& host, std::uint16_t port) {
+  host.stack().listen(port, [this](TcpConnection& conn) {
+    conn.callbacks().on_data = [this](TcpConnection&, std::uint64_t n) {
+      bytes_received_ += n;
+    };
+    conn.callbacks().on_peer_close = [](TcpConnection& c) { c.close(); };
+  });
+}
+
+}  // namespace inband

@@ -1,0 +1,59 @@
+// Backlogged flow-controlled TCP flow (the Fig. 2 rig traffic).
+//
+// BulkSender opens one connection with a fixed window and keeps the send
+// buffer permanently backlogged, so the connection transmits a full window,
+// stalls on the flow-control quota, and resumes when ACKs return — exactly
+// the batch/pause pattern the estimators key on. The sender's own RTT
+// samples (timestamp option) are the ground truth T_client series.
+//
+// BulkSink is the passive receiving application.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tcp/stack.h"
+#include "util/time.h"
+
+namespace inband {
+
+class BulkSender {
+ public:
+  using RttRecorder = std::function<void(SimTime now, SimTime rtt)>;
+
+  // `config` controls the window (cwnd_bytes = the flow-control quota).
+  BulkSender(TcpHost& host, Endpoint remote, TcpConfig config);
+
+  void set_rtt_recorder(RttRecorder recorder) {
+    recorder_ = std::move(recorder);
+  }
+
+  void start();
+  void stop();
+
+  std::uint64_t bytes_acked() const;
+  std::uint64_t rtt_samples() const { return rtt_samples_; }
+  TcpConnection* connection() { return conn_; }
+
+ private:
+  void top_up();
+
+  TcpHost& host_;
+  Endpoint remote_;
+  TcpConfig config_;
+  TcpConnection* conn_ = nullptr;
+  RttRecorder recorder_;
+  std::uint64_t rtt_samples_ = 0;
+};
+
+class BulkSink {
+ public:
+  BulkSink(TcpHost& host, std::uint16_t port);
+
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace inband

@@ -1,0 +1,147 @@
+#include "app/kv_server.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace inband {
+
+KvServer::KvServer(TcpHost& host, KvServerConfig config)
+    : host_{host},
+      config_{config},
+      rng_{splitmix64(config.seed ^ 0x5e57e5ULL)} {
+  INBAND_ASSERT(config_.workers > 0);
+  host_.stack().listen(config_.port,
+                       [this](TcpConnection& conn) { on_accept(conn); });
+}
+
+void KvServer::add_injector(std::unique_ptr<VariabilityInjector> injector) {
+  INBAND_ASSERT(injector != nullptr);
+  injectors_.push_back(std::move(injector));
+}
+
+void KvServer::abort_all_connections() {
+  queue_.clear();
+  // abort() triggers on_closed, which erases from open_conns_; iterate a
+  // snapshot.
+  const std::vector<TcpConnection*> conns{open_conns_.begin(),
+                                          open_conns_.end()};
+  for (auto* conn : conns) conn->abort();
+}
+
+void KvServer::on_accept(TcpConnection& conn) {
+  open_conns_.insert(&conn);
+  conn.callbacks().on_message =
+      [this](TcpConnection& c, std::shared_ptr<const AppPayload> payload) {
+        auto req = std::dynamic_pointer_cast<const KvMessage>(payload);
+        INBAND_ASSERT(req != nullptr, "non-KV payload at KV server");
+        INBAND_ASSERT(req->kind == KvKind::kRequest);
+        on_request(c, std::move(req));
+      };
+  conn.callbacks().on_peer_close = [](TcpConnection& c) { c.close(); };
+  conn.callbacks().on_closed = [this](TcpConnection& c, bool /*reset*/) {
+    open_conns_.erase(&c);
+  };
+}
+
+void KvServer::on_request(TcpConnection& conn,
+                          std::shared_ptr<const KvMessage> request) {
+  Pending work{&conn, std::move(request)};
+  if (busy_workers_ < config_.workers) {
+    start_processing(std::move(work));
+  } else {
+    queue_.push_back(std::move(work));
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+}
+
+SimTime KvServer::service_time(const KvMessage& request) {
+  const SimTime base =
+      request.op == KvOp::kGet ? config_.get_base : config_.set_base;
+  const SimTime copy = request.op == KvOp::kSet
+                           ? config_.per_byte * request.value_len
+                           : 0;
+  SimTime svc = base + copy;
+  if (config_.service_sigma > 0.0) {
+    svc = static_cast<SimTime>(rng_.lognormal_median(
+        static_cast<double>(svc), config_.service_sigma));
+  }
+  const SimTime now = host_.sim().now();
+  for (auto& inj : injectors_) {
+    svc += inj->extra_service_time(now, base + copy, rng_);
+  }
+  return std::max<SimTime>(svc, 1);
+}
+
+void KvServer::account_busy(SimTime now, int delta) {
+  busy_integral_ns_ += static_cast<double>(busy_workers_) *
+                       static_cast<double>(now - busy_last_change_);
+  busy_last_change_ = now;
+  busy_workers_ += delta;
+  INBAND_DCHECK(busy_workers_ >= 0 && busy_workers_ <= config_.workers);
+}
+
+double KvServer::busy_worker_seconds(SimTime now) const {
+  return (busy_integral_ns_ + static_cast<double>(busy_workers_) *
+                                  static_cast<double>(now - busy_last_change_)) /
+         1e9;
+}
+
+void KvServer::start_processing(Pending work) {
+  const SimTime now = host_.sim().now();
+  SimTime start_at = now;
+  for (auto& inj : injectors_) {
+    start_at = std::max(start_at, inj->frozen_until(now));
+  }
+  const SimTime svc = service_time(*work.request);
+  account_busy(now, +1);
+  host_.sim().schedule_at(start_at + svc,
+                          [this, w = std::move(work)]() mutable {
+                            finish(std::move(w));
+                          });
+}
+
+void KvServer::finish(Pending work) {
+  const SimTime now = host_.sim().now();
+  account_busy(now, -1);
+
+  const KvMessage& req = *work.request;
+  bool hit = false;
+  std::uint32_t value_len = 0;
+  if (req.op == KvOp::kSet) {
+    store_[req.key] = req.value_len;
+    ++sets_;
+  } else {
+    const auto it = store_.find(req.key);
+    hit = it != store_.end();
+    if (hit) {
+      value_len = it->second;
+      ++hits_;
+    }
+    ++gets_;
+  }
+  ++requests_served_;
+
+  // The connection may have died while the request was in service.
+  if (open_conns_.find(work.conn) != open_conns_.end() &&
+      work.conn->can_send()) {
+    auto resp = make_kv_response(req, hit, value_len);
+    const std::uint32_t wire = kv_response_wire_size(*resp);
+    work.conn->send_message(std::move(resp), wire);
+  }
+
+  if (!queue_.empty() && busy_workers_ < config_.workers) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    // Dead connections may sit in the queue; drop their work.
+    while (open_conns_.find(next.conn) == open_conns_.end()) {
+      if (queue_.empty()) return;
+      next = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    start_processing(std::move(next));
+  }
+}
+
+}  // namespace inband

@@ -1,0 +1,29 @@
+#include "app/message.h"
+
+namespace inband {
+
+std::uint32_t kv_request_wire_size(KvOp op, std::uint32_t value_len) {
+  return op == KvOp::kSet ? kKvRequestHeader + value_len : kKvRequestHeader;
+}
+
+std::uint32_t kv_response_wire_size(const KvMessage& response) {
+  if (response.op == KvOp::kGet && response.hit) {
+    return kKvResponseHeader + response.value_len;
+  }
+  return kKvResponseHeader;
+}
+
+std::shared_ptr<KvMessage> make_kv_response(const KvMessage& req, bool hit,
+                                            std::uint32_t value_len) {
+  auto resp = std::make_shared<KvMessage>();
+  resp->kind = KvKind::kResponse;
+  resp->op = req.op;
+  resp->id = req.id;
+  resp->key = req.key;
+  resp->hit = hit;
+  resp->value_len = value_len;
+  resp->created_at = req.created_at;
+  return resp;
+}
+
+}  // namespace inband

@@ -1,0 +1,93 @@
+#include "app/variability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace inband {
+
+StepDelayInjector::StepDelayInjector(SimTime start, SimTime extra, SimTime end)
+    : start_{start}, end_{end}, extra_{extra} {
+  INBAND_ASSERT(extra >= 0);
+  INBAND_ASSERT(end > start);
+}
+
+SimTime StepDelayInjector::extra_service_time(SimTime now, SimTime base,
+                                              Rng& rng) {
+  (void)base;
+  (void)rng;
+  return (now >= start_ && now < end_) ? extra_ : 0;
+}
+
+GcPauseInjector::GcPauseInjector(SimTime period, SimTime pause, SimTime phase)
+    : period_{period}, pause_{pause}, phase_{phase} {
+  INBAND_ASSERT(period > 0);
+  INBAND_ASSERT(pause > 0 && pause < period);
+  INBAND_ASSERT(phase >= 0);
+}
+
+SimTime GcPauseInjector::frozen_until(SimTime now) {
+  const SimTime shifted = now - phase_;
+  if (shifted < 0) return 0;
+  const SimTime into_cycle = shifted % period_;
+  if (into_cycle < pause_) return now + (pause_ - into_cycle);
+  return 0;
+}
+
+HeavyTailNoiseInjector::HeavyTailNoiseInjector(double probability,
+                                               SimTime scale, double alpha,
+                                               SimTime cap)
+    : probability_{probability}, scale_{scale}, alpha_{alpha}, cap_{cap} {
+  INBAND_ASSERT(probability >= 0.0 && probability <= 1.0);
+  INBAND_ASSERT(scale > 0);
+  INBAND_ASSERT(alpha > 0.0);
+}
+
+SimTime HeavyTailNoiseInjector::extra_service_time(SimTime now, SimTime base,
+                                                   Rng& rng) {
+  (void)now;
+  (void)base;
+  if (!rng.bernoulli(probability_)) return 0;
+  const double d = rng.pareto(static_cast<double>(scale_), alpha_);
+  return std::min(static_cast<SimTime>(d), cap_);
+}
+
+MarkovSlowdownInjector::MarkovSlowdownInjector(SimTime mean_normal,
+                                               SimTime mean_slow,
+                                               double factor,
+                                               std::uint64_t seed)
+    : mean_normal_{mean_normal},
+      mean_slow_{mean_slow},
+      factor_{factor},
+      state_rng_{seed} {
+  INBAND_ASSERT(mean_normal > 0);
+  INBAND_ASSERT(mean_slow > 0);
+  INBAND_ASSERT(factor >= 1.0);
+  next_transition_ = static_cast<SimTime>(
+      state_rng_.exponential(static_cast<double>(mean_normal_)));
+}
+
+void MarkovSlowdownInjector::advance_to(SimTime now) {
+  while (next_transition_ <= now) {
+    slow_ = !slow_;
+    const SimTime mean = slow_ ? mean_slow_ : mean_normal_;
+    next_transition_ += static_cast<SimTime>(
+        state_rng_.exponential(static_cast<double>(mean)));
+  }
+}
+
+bool MarkovSlowdownInjector::slow_at(SimTime now) {
+  advance_to(now);
+  return slow_;
+}
+
+SimTime MarkovSlowdownInjector::extra_service_time(SimTime now, SimTime base,
+                                                   Rng& rng) {
+  (void)rng;
+  advance_to(now);
+  if (!slow_) return 0;
+  return static_cast<SimTime>(static_cast<double>(base) * (factor_ - 1.0));
+}
+
+}  // namespace inband

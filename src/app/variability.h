@@ -1,0 +1,156 @@
+// Server performance-variability injectors (§2.2 of the paper).
+//
+// Request-processing latency at real servers regresses at 100µs–1ms time
+// scales from preemptions, garbage collection, background compaction and
+// noisy neighbours. Injectors model those regressions; a KvServer applies
+// every attached injector to each request it processes.
+//
+// Two mechanisms:
+//  * extra_service_time() — additive per-request inflation (scheduling
+//    delays, noisy service times, slow phases);
+//  * frozen_until() — a global stall: no worker may *start* a request before
+//    the returned time (GC/compaction pauses freeze the whole process).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace inband {
+
+class VariabilityInjector {
+ public:
+  virtual ~VariabilityInjector() = default;
+
+  // Additional service time for a request whose base cost is `base`,
+  // starting at `now`.
+  virtual SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) {
+    (void)now;
+    (void)base;
+    (void)rng;
+    return 0;
+  }
+
+  // If the process is stalled at `now`, the time the stall ends; else <= now.
+  virtual SimTime frozen_until(SimTime now) {
+    (void)now;
+    return 0;
+  }
+};
+
+// Constant additive delay active during [start, end). The Fig. 3-style
+// "server got slow at time t" switch.
+class StepDelayInjector final : public VariabilityInjector {
+ public:
+  StepDelayInjector(SimTime start, SimTime extra,
+                    SimTime end = sec(1'000'000));
+
+  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+
+ private:
+  SimTime start_;
+  SimTime end_;
+  SimTime extra_;
+};
+
+// Periodic full-process pauses: during [k*period, k*period + pause) no
+// request may start. Models GC / compaction stalls.
+class GcPauseInjector final : public VariabilityInjector {
+ public:
+  GcPauseInjector(SimTime period, SimTime pause, SimTime phase = 0);
+
+  SimTime frozen_until(SimTime now) override;
+
+ private:
+  SimTime period_;
+  SimTime pause_;
+  SimTime phase_;
+};
+
+// Heavy-tailed additive noise: with probability p, add a Pareto-distributed
+// delay (scale x_m, shape alpha). Models preemptions and interrupts.
+class HeavyTailNoiseInjector final : public VariabilityInjector {
+ public:
+  HeavyTailNoiseInjector(double probability, SimTime scale, double alpha,
+                         SimTime cap = ms(20));
+
+  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+
+ private:
+  double probability_;
+  SimTime scale_;
+  double alpha_;
+  SimTime cap_;
+};
+
+// A downstream service shared by several frontend servers (§5(3) of the
+// paper: "a server appears to be slow not because it is slow but [because]
+// one of its downstream dependencies is slow"). Each frontend request that
+// touches the dependency pays its base delay plus whatever inflation is
+// currently injected into the dependency. Several servers holding injectors
+// onto the *same* SharedDependency slow down together — the signature that
+// distinguishes a dependency fault from a server fault.
+class SharedDependency {
+ public:
+  explicit SharedDependency(SimTime base_delay) : base_{base_delay} {}
+
+  // Extra delay injected from `at` onward (e.g. the dependency degrades).
+  void inject(SimTime at, SimTime extra) {
+    inject_at_ = at;
+    extra_ = extra;
+  }
+
+  SimTime delay_at(SimTime now) const {
+    return base_ + (inject_at_ != kNoTime && now >= inject_at_ ? extra_ : 0);
+  }
+
+ private:
+  SimTime base_;
+  SimTime inject_at_ = kNoTime;
+  SimTime extra_ = 0;
+};
+
+// Attaches a server to a SharedDependency: a fraction of requests call it
+// and pay its current delay.
+class DependencyInjector final : public VariabilityInjector {
+ public:
+  DependencyInjector(const SharedDependency& dep, double call_fraction)
+      : dep_{dep}, call_fraction_{call_fraction} {}
+
+  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override {
+    (void)base;
+    if (!rng.bernoulli(call_fraction_)) return 0;
+    return dep_.delay_at(now);
+  }
+
+ private:
+  const SharedDependency& dep_;
+  double call_fraction_;
+};
+
+// Two-state Markov slowdown: in the slow state, service time is multiplied
+// by `factor`. Dwell times are exponential with the given means; transitions
+// are evaluated lazily at request starts.
+class MarkovSlowdownInjector final : public VariabilityInjector {
+ public:
+  MarkovSlowdownInjector(SimTime mean_normal, SimTime mean_slow,
+                         double factor, std::uint64_t seed);
+
+  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+
+  bool slow_at(SimTime now);
+
+ private:
+  void advance_to(SimTime now);
+
+  SimTime mean_normal_;
+  SimTime mean_slow_;
+  double factor_;
+  Rng state_rng_;
+  bool slow_ = false;
+  SimTime next_transition_ = 0;
+};
+
+}  // namespace inband

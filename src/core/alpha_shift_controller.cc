@@ -1,0 +1,78 @@
+#include "core/alpha_shift_controller.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+AlphaShiftController::AlphaShiftController(AlphaShiftConfig config)
+    : config_{config}, baseline_best_{config.guard_tau} {
+  INBAND_ASSERT(config_.alpha > 0.0 && config_.alpha <= 1.0);
+  INBAND_ASSERT(config_.rel_threshold >= 1.0);
+  INBAND_ASSERT(config_.cooldown >= 0);
+  INBAND_ASSERT(config_.global_guard == 0.0 || config_.global_guard >= 1.0);
+}
+
+std::optional<ShiftDecision> AlphaShiftController::evaluate(
+    ServerLatencyTracker& tracker, SimTime now) {
+  if (now < config_.warmup) return std::nullopt;
+  if (last_shift_ != kNoTime && now - last_shift_ < config_.cooldown) {
+    return std::nullopt;
+  }
+
+  const auto all = tracker.scores(now);
+  // Eligible: warm and fresh.
+  const BackendScore* worst = nullptr;
+  const BackendScore* best = nullptr;
+  std::size_t eligible = 0;
+  for (const auto& s : all) {
+    if (s.samples < config_.min_samples) continue;
+    if (now - s.last_sample > config_.staleness) continue;
+    ++eligible;
+    if (worst == nullptr || s.score_ns > worst->score_ns) worst = &s;
+    if (best == nullptr || s.score_ns < best->score_ns) best = &s;
+  }
+  // Shifting needs a comparison: at least two live opinions.
+  if (eligible < 2 || worst == nullptr || best == nullptr ||
+      worst->backend == best->backend) {
+    return std::nullopt;
+  }
+
+  // Global-inflation guard: compare the best score against its trailing
+  // baseline *before* folding the new level in, so an abrupt shared fault
+  // is caught; the EWMA then absorbs persistent levels and re-arms control.
+  if (config_.global_guard > 0.0) {
+    const bool inflated =
+        baseline_best_.initialized() &&
+        best->score_ns > config_.global_guard * baseline_best_.value();
+    baseline_best_.record(now, best->score_ns);
+    if (inflated) {
+      ++guard_holds_;
+      pending_from_ = kNoBackend;  // a shared event voids any candidate
+      return std::nullopt;
+    }
+  }
+
+  const double gap = worst->score_ns - best->score_ns;
+  if (gap < static_cast<double>(config_.min_abs_gap) ||
+      worst->score_ns < config_.rel_threshold * best->score_ns) {
+    pending_from_ = kNoBackend;  // gap evaporated: candidate withdrawn
+    return std::nullopt;
+  }
+
+  if (config_.confirm > 0) {
+    if (pending_from_ != worst->backend) {
+      pending_from_ = worst->backend;
+      pending_since_ = now;
+      return std::nullopt;
+    }
+    if (now - pending_since_ < config_.confirm) return std::nullopt;
+  }
+
+  pending_from_ = kNoBackend;
+  last_shift_ = now;
+  ++shifts_;
+  return ShiftDecision{worst->backend, config_.alpha, worst->score_ns,
+                       best->score_ns};
+}
+
+}  // namespace inband

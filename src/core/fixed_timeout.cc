@@ -1,0 +1,29 @@
+#include "core/fixed_timeout.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+FixedTimeout::FixedTimeout(SimTime delta) : delta_{delta} {
+  INBAND_ASSERT(delta > 0, "inter-batch timeout must be positive");
+}
+
+SimTime FixedTimeout::on_packet(FixedTimeoutState& f, SimTime now) const {
+  // First packet of the flow: start the first batch, no sample.
+  if (f.time_last_pkt == kNoTime) {
+    f.time_last_batch = now;
+    f.time_last_pkt = now;
+    return kNoTime;
+  }
+  INBAND_DCHECK(now >= f.time_last_pkt, "packet timestamps must not regress");
+
+  SimTime t_lb = kNoTime;                       // line 1: T_LB = undef
+  if (now - f.time_last_pkt > delta_) {         // line 2
+    t_lb = now - f.time_last_batch;             // line 3: new batch
+    f.time_last_batch = now;                    // line 4
+  }
+  f.time_last_pkt = now;                        // line 6
+  return t_lb;                                  // line 7
+}
+
+}  // namespace inband

@@ -1,0 +1,48 @@
+#include "core/flow_state_table.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+FlowStateTable::FlowStateTable(FlowStateTableConfig config)
+    : config_{config} {
+  INBAND_ASSERT(config_.max_entries > 0);
+}
+
+FlowState& FlowStateTable::get_or_create(const FlowKey& flow, SimTime now) {
+  auto it = map_.find(flow);
+  if (it == map_.end()) {
+    if (map_.size() >= config_.max_entries) evict_stalest();
+    it = map_.emplace(flow, Entry{}).first;
+  }
+  it->second.last_seen = now;
+  return it->second.state;
+}
+
+void FlowStateTable::erase(const FlowKey& flow) { map_.erase(flow); }
+
+void FlowStateTable::evict_stalest() {
+  auto victim = map_.begin();
+  for (auto it = map_.begin(); it != map_.end(); ++it) {
+    if (it->second.last_seen < victim->second.last_seen) victim = it;
+  }
+  if (victim != map_.end()) {
+    map_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void FlowStateTable::maybe_sweep(SimTime now) {
+  if (now - last_sweep_ < config_.sweep_interval) return;
+  last_sweep_ = now;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (now - it->second.last_seen >= config_.idle_timeout) {
+      it = map_.erase(it);
+      ++expirations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace inband

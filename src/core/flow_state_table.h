@@ -1,0 +1,73 @@
+// Per-flow estimator state store.
+//
+// Bounded map from FlowKey to EnsembleState with idle aging — the software
+// analogue of the per-flow BPF map an XDP load balancer would dedicate to
+// the estimator. Entries are created on first packet, refreshed on every
+// packet, dropped when the flow is seen closing, and swept when idle too
+// long; at capacity the stalest entry is evicted.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/ensemble_timeout.h"
+#include "net/flow.h"
+#include "util/time.h"
+
+namespace inband {
+
+struct FlowStateTableConfig {
+  std::size_t max_entries = 1 << 18;
+  SimTime idle_timeout = sec(30);
+  SimTime sweep_interval = sec(1);
+};
+
+// Everything the policy keeps per flow: the estimator state plus the
+// smallest T_LB the flow has ever produced. The floor approximates the
+// flow's uncontrollable propagation component (client→LB distance plus the
+// fixed network path), so `sample - min_sample` isolates the *inflation* the
+// LB can actually act on — the §5(1) far-client normalization.
+struct FlowState {
+  EnsembleState ensemble;
+  SimTime min_sample = kNoTime;
+
+  // Records a sample into the floor and returns the inflation above it.
+  SimTime record_floor(SimTime sample) {
+    if (min_sample == kNoTime || sample < min_sample) min_sample = sample;
+    return sample - min_sample;
+  }
+};
+
+class FlowStateTable {
+ public:
+  explicit FlowStateTable(FlowStateTableConfig config = {});
+
+  // State for `flow`, creating it if absent; refreshes last-seen.
+  FlowState& get_or_create(const FlowKey& flow, SimTime now);
+
+  // Drops the flow's state (e.g. FIN observed). No-op when absent.
+  void erase(const FlowKey& flow);
+
+  // Amortized cleanup; cheap to call per packet.
+  void maybe_sweep(SimTime now);
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+ private:
+  struct Entry {
+    FlowState state;
+    SimTime last_seen = kNoTime;
+  };
+
+  void evict_stalest();
+
+  FlowStateTableConfig config_;
+  std::unordered_map<FlowKey, Entry, FlowKeyHash> map_;
+  SimTime last_sweep_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace inband

@@ -1,0 +1,62 @@
+#include "core/handshake_rtt.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+HandshakeRttEstimator::HandshakeRttEstimator(HandshakeRttConfig config)
+    : config_{config} {
+  INBAND_ASSERT(config_.max_pending > 0);
+}
+
+void HandshakeRttEstimator::maybe_sweep(SimTime now) {
+  if (now - last_sweep_ < config_.pending_timeout) return;
+  last_sweep_ = now;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second >= config_.pending_timeout) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SimTime HandshakeRttEstimator::on_packet(const Packet& pkt, SimTime now) {
+  maybe_sweep(now);
+
+  if (pkt.has(tcpflag::kSyn) && !pkt.has(tcpflag::kAck)) {
+    const auto [it, inserted] = pending_.emplace(pkt.flow, now);
+    if (!inserted) {
+      // SYN retransmission: the eventual ACK gap would measure the retry
+      // timeout, not the path — drop the handshake instead.
+      ++retransmitted_syns_;
+      pending_.erase(it);
+      return kNoTime;
+    }
+    if (pending_.size() > config_.max_pending) {
+      // Evict the oldest pending handshake (SYN floods must not grow this
+      // table; a production LB would use a SYN-cookie-style fixed slab).
+      auto victim = pending_.begin();
+      for (auto it2 = pending_.begin(); it2 != pending_.end(); ++it2) {
+        if (it2->second < victim->second) victim = it2;
+      }
+      pending_.erase(victim);
+    }
+    return kNoTime;
+  }
+
+  if (pkt.has(tcpflag::kAck) && !pkt.has(tcpflag::kSyn) &&
+      !pkt.has(tcpflag::kRst)) {
+    const auto it = pending_.find(pkt.flow);
+    if (it == pending_.end()) return kNoTime;
+    const SimTime sample = now - it->second;
+    pending_.erase(it);
+    ++samples_;
+    return sample;
+  }
+
+  if (pkt.has(tcpflag::kRst)) pending_.erase(pkt.flow);
+  return kNoTime;
+}
+
+}  // namespace inband

@@ -1,0 +1,188 @@
+#include "core/inband_lb_policy.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace inband {
+
+InbandLbPolicy::InbandLbPolicy(const BackendPool& pool,
+                               InbandPolicyConfig config)
+    : config_{std::move(config)},
+      pool_{pool},
+      table_{config_.maglev_table_size, config_.maglev_seed},
+      estimator_{config_.ensemble},
+      handshake_{config_.handshake},
+      flows_{config_.flow_table},
+      tracker_{pool.size(), config_.tracker},
+      controller_{config_.controller} {
+  INBAND_ASSERT(!pool_.empty());
+  table_.build(pool_);
+  // Weight-fair target shares, for the optional restore drift.
+  double total = 0.0;
+  for (const auto& b : pool_) total += b.healthy ? b.weight : 0;
+  fair_shares_.resize(pool_.size(), 0.0);
+  for (const auto& b : pool_) {
+    fair_shares_[b.id] = b.healthy ? b.weight / total : 0.0;
+  }
+  target_shares_ = fair_shares_;
+}
+
+std::size_t InbandLbPolicy::apply_decision(const ShiftDecision& decision) {
+  switch (config_.table_update) {
+    case TableUpdateMode::kShiftSlots: {
+      const std::size_t moved =
+          table_.shift_slots(decision.from, decision.fraction);
+      slots_disturbed_ += moved;
+      return moved;
+    }
+    case TableUpdateMode::kWeightRebuild: {
+      // Move `fraction` of total share off the victim, equally to others.
+      double taken = std::min(decision.fraction, target_shares_[decision.from]);
+      if (taken <= 0.0) return 0;
+      std::size_t receivers = 0;
+      for (const auto& b : pool_) {
+        if (b.healthy && b.id != decision.from) ++receivers;
+      }
+      if (receivers == 0) return 0;
+      target_shares_[decision.from] -= taken;
+      for (const auto& b : pool_) {
+        if (b.healthy && b.id != decision.from) {
+          target_shares_[b.id] += taken / static_cast<double>(receivers);
+        }
+      }
+      // Rebuild with integer weights proportional to the live targets.
+      BackendPool weighted = pool_;
+      for (auto& b : weighted) {
+        b.weight = static_cast<std::uint32_t>(
+            target_shares_[b.id] * 10'000.0 + 0.5);
+      }
+      bool any = false;
+      for (const auto& b : weighted) any = any || (b.healthy && b.weight > 0);
+      if (!any) return 0;
+      MaglevTable rebuilt{table_.table_size(), config_.maglev_seed};
+      rebuilt.build(weighted);
+      const std::size_t changed = table_.diff(rebuilt);
+      table_ = rebuilt;
+      slots_disturbed_ += changed;
+      return changed;
+    }
+  }
+  return 0;
+}
+
+void InbandLbPolicy::record_sample(const Packet& pkt, BackendId backend,
+                                   SimTime now, SimTime sample) {
+  SimTime scored = sample;
+  if (config_.normalize_client_floor) {
+    auto [it, inserted] = client_floor_.emplace(pkt.flow.src.addr, sample);
+    if (!inserted && sample < it->second) it->second = sample;
+    scored = sample - it->second;
+  }
+  tracker_.record(backend, now, scored);
+}
+
+BackendId InbandLbPolicy::pick(const FlowKey& flow, SimTime now) {
+  (void)now;
+  return table_.lookup(flow);
+}
+
+void InbandLbPolicy::on_packet(const Packet& pkt, BackendId backend,
+                               SimTime now, bool new_flow) {
+  (void)new_flow;
+  flows_.maybe_sweep(now);
+
+  // Fast bootstrap: a new connection's handshake yields a sample one RTT in.
+  if (config_.use_handshake_bootstrap) {
+    if (const SimTime hs = handshake_.on_packet(pkt, now); hs != kNoTime) {
+      ++handshake_samples_;
+      record_sample(pkt, backend, now, hs);
+    }
+  }
+
+  FlowState& state = flows_.get_or_create(pkt.flow, now);
+  const SimTime t_lb = estimator_.on_packet(state.ensemble, now);
+  if (t_lb == kNoTime) {
+    maybe_restore(now);
+    return;
+  }
+  ++samples_total_;
+  record_sample(pkt, backend, now, t_lb);
+
+  if (auto decision = controller_.evaluate(tracker_, now)) {
+    const std::size_t moved = apply_decision(*decision);
+    if (moved > 0) {
+      shifts_.push_back({now, decision->from, moved, decision->worst_score_ns,
+                         decision->best_score_ns});
+      LOG_DEBUG() << "alpha-shift: moved " << moved << " slots off backend "
+                  << decision->from << " (worst "
+                  << decision->worst_score_ns / 1e3 << "us vs best "
+                  << decision->best_score_ns / 1e3 << "us)";
+    }
+  }
+  maybe_restore(now);
+}
+
+void InbandLbPolicy::on_pool_change(const BackendPool& pool) {
+  INBAND_ASSERT(pool.size() == pool_.size(),
+                "pool membership is fixed; only health/weights may change");
+  pool_ = pool;
+  double total = 0.0;
+  for (const auto& b : pool_) total += b.healthy ? b.weight : 0;
+  for (const auto& b : pool_) {
+    fair_shares_[b.id] = b.healthy && total > 0 ? b.weight / total : 0.0;
+  }
+  target_shares_ = fair_shares_;
+  table_.build(pool_);
+}
+
+void InbandLbPolicy::on_flow_closed(const FlowKey& flow, BackendId backend,
+                                    SimTime now) {
+  (void)backend;
+  (void)now;
+  flows_.erase(flow);
+}
+
+SimTime InbandLbPolicy::flow_delta(const FlowKey& flow, SimTime now) {
+  return estimator_.current_delta(flows_.get_or_create(flow, now).ensemble);
+}
+
+void InbandLbPolicy::maybe_restore(SimTime now) {
+  if (config_.restore_interval <= 0) return;
+  if (now - last_restore_ < config_.restore_interval) return;
+  const SimTime last_shift = controller_.last_shift_time();
+  if (last_shift != kNoTime &&
+      now - last_shift < config_.restore_interval) {
+    return;  // controller is active; do not fight it
+  }
+  last_restore_ = now;
+
+  // Find the backend furthest below its fair share and the one furthest
+  // above; drift slots from the latter to the former.
+  const auto shares = table_.shares();
+  BackendId needy = kNoBackend;
+  BackendId donor = kNoBackend;
+  double worst_deficit = 0.0;
+  double worst_surplus = 0.0;
+  for (const auto& b : pool_) {
+    if (!b.healthy) continue;
+    const double share = b.id < shares.size() ? shares[b.id] : 0.0;
+    const double deficit = fair_shares_[b.id] - share;
+    if (deficit > worst_deficit) {
+      worst_deficit = deficit;
+      needy = b.id;
+    }
+    if (-deficit > worst_surplus) {
+      worst_surplus = -deficit;
+      donor = b.id;
+    }
+  }
+  if (needy == kNoBackend || donor == kNoBackend || needy == donor) return;
+  const double step = std::min(config_.restore_step, worst_deficit);
+  const auto count = static_cast<std::size_t>(
+      step * static_cast<double>(table_.table_size()));
+  if (count > 0) table_.move_slots(donor, needy, count);
+}
+
+}  // namespace inband

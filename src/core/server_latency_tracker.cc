@@ -1,0 +1,63 @@
+#include "core/server_latency_tracker.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+ServerLatencyTracker::ServerLatencyTracker(std::size_t backend_count,
+                                           LatencyTrackerConfig config)
+    : config_{config} {
+  INBAND_ASSERT(backend_count > 0);
+  entries_.reserve(backend_count);
+  for (std::size_t i = 0; i < backend_count; ++i) {
+    entries_.emplace_back(config_.ewma_tau, config_.window,
+                          config_.window_slices);
+  }
+}
+
+void ServerLatencyTracker::record(BackendId backend, SimTime now,
+                                  SimTime t_lb) {
+  INBAND_ASSERT(backend < entries_.size());
+  if (t_lb < 0) return;
+  auto& e = entries_[backend];
+  e.ewma.record(now, static_cast<double>(t_lb));
+  e.window.record(now, t_lb);
+  e.last_sample = now;
+  ++e.count;
+}
+
+double ServerLatencyTracker::score(BackendId backend, SimTime now) {
+  INBAND_ASSERT(backend < entries_.size());
+  auto& e = entries_[backend];
+  if (e.count == 0) return 0.0;
+  switch (config_.mode) {
+    case LatencyScoreMode::kEwma:
+      return e.ewma.value();
+    case LatencyScoreMode::kWindowedP95:
+      return static_cast<double>(e.window.percentile(now, 0.95));
+  }
+  return 0.0;
+}
+
+std::vector<BackendScore> ServerLatencyTracker::scores(SimTime now) {
+  std::vector<BackendScore> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    auto& e = entries_[i];
+    if (e.count == 0) continue;
+    out.push_back({static_cast<BackendId>(i), score(static_cast<BackendId>(i), now),
+                   e.last_sample, e.count});
+  }
+  return out;
+}
+
+std::uint64_t ServerLatencyTracker::samples(BackendId backend) const {
+  INBAND_ASSERT(backend < entries_.size());
+  return entries_[backend].count;
+}
+
+SimTime ServerLatencyTracker::last_sample_time(BackendId backend) const {
+  INBAND_ASSERT(backend < entries_.size());
+  return entries_[backend].last_sample;
+}
+
+}  // namespace inband

@@ -1,0 +1,69 @@
+// Per-server latency aggregation.
+//
+// Folds the per-flow T_LB samples into one latency score per backend. Two
+// score modes: a time-decayed EWMA (fast, smooth) and a sliding-window p95
+// (closer to the tail objective the paper targets). Freshness matters: a
+// backend that the LB has shifted traffic away from stops producing samples,
+// so scores carry their last-sample time and consumers can treat stale
+// scores accordingly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lb/backend.h"
+#include "telemetry/ewma.h"
+#include "telemetry/sliding_window.h"
+#include "util/time.h"
+
+namespace inband {
+
+enum class LatencyScoreMode { kEwma, kWindowedP95 };
+
+struct LatencyTrackerConfig {
+  LatencyScoreMode mode = LatencyScoreMode::kEwma;
+  SimTime ewma_tau = ms(2);      // decay constant of the per-server EWMA
+  SimTime window = ms(50);       // sliding window for the p95 mode
+  int window_slices = 8;
+};
+
+struct BackendScore {
+  BackendId backend = kNoBackend;
+  double score_ns = 0.0;
+  SimTime last_sample = kNoTime;
+  std::uint64_t samples = 0;  // lifetime sample count
+};
+
+class ServerLatencyTracker {
+ public:
+  ServerLatencyTracker(std::size_t backend_count,
+                       LatencyTrackerConfig config = {});
+
+  void record(BackendId backend, SimTime now, SimTime t_lb);
+
+  // Score for one backend (0 when it has no samples yet).
+  double score(BackendId backend, SimTime now);
+
+  // All backends that have at least one sample.
+  std::vector<BackendScore> scores(SimTime now);
+
+  std::uint64_t samples(BackendId backend) const;
+  SimTime last_sample_time(BackendId backend) const;
+  std::size_t backend_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    DecayingEwma ewma;
+    SlidingWindowHistogram window;
+    SimTime last_sample = kNoTime;
+    std::uint64_t count = 0;
+
+    Entry(SimTime tau, SimTime window_len, int slices)
+        : ewma{tau}, window{window_len, slices} {}
+  };
+
+  LatencyTrackerConfig config_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace inband

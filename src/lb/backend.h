@@ -1,0 +1,26 @@
+// Backend pool descriptors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+
+namespace inband {
+
+// Index into the LB's backend table. Stable for the lifetime of a pool.
+using BackendId = std::uint32_t;
+inline constexpr BackendId kNoBackend = ~0u;
+
+struct Backend {
+  BackendId id = 0;
+  std::string name;   // hashed by Maglev for permutation seeds
+  Ipv4 addr = 0;      // delivery address the LB forwards to
+  std::uint32_t weight = 1;
+  bool healthy = true;
+};
+
+using BackendPool = std::vector<Backend>;
+
+}  // namespace inband

@@ -1,0 +1,94 @@
+#include "lb/conntrack.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+ConnTracker::ConnTracker(ConntrackConfig config) : config_{config} {
+  INBAND_ASSERT(config_.max_entries > 0);
+  map_.reserve(std::min<std::size_t>(config_.max_entries, 1 << 16));
+}
+
+bool ConnTracker::expired(const Entry& e, SimTime now) const {
+  if (e.closing && now - e.close_marked >= config_.closing_linger) return true;
+  return now - e.last_seen >= config_.idle_timeout;
+}
+
+BackendId ConnTracker::lookup(const FlowKey& flow, SimTime now) {
+  const auto it = map_.find(flow);
+  if (it == map_.end() || expired(it->second, now)) {
+    if (it != map_.end()) {
+      map_.erase(it);
+      ++expirations_;
+    }
+    ++misses_;
+    return kNoBackend;
+  }
+  it->second.last_seen = now;
+  ++hits_;
+  return it->second.backend;
+}
+
+void ConnTracker::insert(const FlowKey& flow, BackendId backend, SimTime now) {
+  if (map_.size() >= config_.max_entries &&
+      map_.find(flow) == map_.end()) {
+    evict_one(now);
+  }
+  map_[flow] = Entry{backend, now, false, kNoTime};
+}
+
+bool ConnTracker::mark_closing(const FlowKey& flow, SimTime now) {
+  const auto it = map_.find(flow);
+  if (it == map_.end()) return false;
+  if (it->second.closing) return false;
+  it->second.closing = true;
+  it->second.close_marked = now;
+  return true;
+}
+
+void ConnTracker::evict_one(SimTime now) {
+  // Prefer an expired or closing entry; otherwise evict the stalest. A full
+  // scan is acceptable because eviction only happens at capacity, which the
+  // experiments never approach; production tables use clocked buckets.
+  auto victim = map_.end();
+  for (auto it = map_.begin(); it != map_.end(); ++it) {
+    if (expired(it->second, now)) {
+      victim = it;
+      break;
+    }
+    if (victim == map_.end() ||
+        it->second.last_seen < victim->second.last_seen) {
+      victim = it;
+    }
+  }
+  if (victim != map_.end()) {
+    map_.erase(victim);
+    ++evictions_;
+  }
+}
+
+void ConnTracker::sweep(SimTime now) {
+  if (now - last_sweep_ < config_.sweep_interval) return;
+  last_sweep_ = now;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (expired(it->second, now)) {
+      it = map_.erase(it);
+      ++expirations_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::size_t> ConnTracker::connections_per_backend() const {
+  std::vector<std::size_t> out;
+  for (const auto& [flow, entry] : map_) {
+    (void)flow;
+    if (entry.closing) continue;
+    if (entry.backend >= out.size()) out.resize(entry.backend + 1, 0);
+    ++out[entry.backend];
+  }
+  return out;
+}
+
+}  // namespace inband

@@ -1,0 +1,58 @@
+// L4 load balancer dataplane under direct server return.
+//
+// The LB is the host attached at the service VIP. For every arriving
+// client→VIP packet it (1) consults conntrack for per-connection
+// consistency, (2) on miss asks the routing policy for a backend, and
+// (3) forwards the packet to the backend's delivery address without
+// rewriting the flow — the backend accepts VIP-addressed traffic and
+// answers the client directly, so the LB structurally never observes
+// responses. The policy's on_packet() hook is therefore fed exactly the
+// one-directional stream the paper's estimators must work with.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lb/backend.h"
+#include "lb/conntrack.h"
+#include "lb/policy.h"
+#include "net/network.h"
+#include "telemetry/counters.h"
+
+namespace inband {
+
+class LoadBalancer : public Host {
+ public:
+  // Backend ids must equal their index in `pool` (asserted) so forwarding
+  // is a single array read.
+  LoadBalancer(Simulator& sim, Network& net, Ipv4 vip, std::string name,
+               BackendPool pool, std::unique_ptr<RoutingPolicy> policy,
+               ConntrackConfig conntrack_config = {});
+
+  void handle_packet(Packet pkt) override;
+
+  // Control-plane pool updates (health checker, operator). The policy is
+  // re-notified so *new* flows avoid an unhealthy backend; tracked
+  // connections keep forwarding to their pinned backend until they close
+  // (drain semantics — §2.5's "minimize connection-breaking").
+  void set_backend_health(BackendId id, bool healthy);
+  void set_backend_weight(BackendId id, std::uint32_t weight);
+
+  RoutingPolicy& policy() { return *policy_; }
+  const BackendPool& pool() const { return pool_; }
+  ConnTracker& conntrack() { return conntrack_; }
+  CounterSet& counters() { return counters_; }
+
+  std::uint64_t forwarded_to(BackendId id) const;
+  std::uint64_t new_flows_to(BackendId id) const;
+
+ private:
+  BackendPool pool_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  ConnTracker conntrack_;
+  CounterSet counters_;
+  std::vector<std::uint64_t> forwarded_per_backend_;
+  std::vector<std::uint64_t> new_flows_per_backend_;
+};
+
+}  // namespace inband

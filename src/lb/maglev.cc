@@ -1,0 +1,159 @@
+#include "lb/maglev.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "util/assert.h"
+
+namespace inband {
+
+namespace {
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t hash_name(std::string_view name, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (char c : name) {
+    h = splitmix64(h ^ static_cast<unsigned char>(c));
+  }
+  return h;
+}
+
+}  // namespace
+
+MaglevTable::MaglevTable(std::uint64_t table_size, std::uint64_t hash_seed)
+    : table_size_{table_size}, seed_{hash_seed} {
+  INBAND_ASSERT(is_prime(table_size), "Maglev table size must be prime");
+  table_.assign(table_size_, kNoBackend);
+}
+
+void MaglevTable::build(const BackendPool& pool) {
+  struct Candidate {
+    BackendId id;
+    std::uint32_t weight;
+    std::uint64_t offset;
+    std::uint64_t skip;
+    std::uint64_t next = 0;  // position in its permutation
+    double credit = 0.0;     // fractional turn accumulator
+  };
+
+  std::vector<Candidate> cands;
+  max_backend_id_ = 0;
+  std::uint32_t max_weight = 0;
+  for (const auto& b : pool) {
+    max_backend_id_ = std::max(max_backend_id_, b.id);
+    if (!b.healthy || b.weight == 0) continue;
+    Candidate c;
+    c.id = b.id;
+    c.weight = b.weight;
+    c.offset = hash_name(b.name, seed_) % table_size_;
+    c.skip = hash_name(b.name, splitmix64(seed_)) % (table_size_ - 1) + 1;
+    cands.push_back(c);
+    max_weight = std::max(max_weight, b.weight);
+  }
+  INBAND_ASSERT(!cands.empty(), "Maglev build with no eligible backends");
+
+  std::fill(table_.begin(), table_.end(), kNoBackend);
+  std::uint64_t filled = 0;
+  // Weighted turn-taking via fractional credits: per round each backend
+  // earns weight/max_weight of a turn and claims a slot whenever a full
+  // credit accumulates. This interleaves backends slot-by-slot (preserving
+  // Maglev's low-disruption property under weight changes), unlike naive
+  // "weight consecutive turns", which clusters slots into runs and rewrites
+  // large table regions on small weight adjustments.
+  while (true) {
+    for (auto& c : cands) {
+      c.credit += static_cast<double>(c.weight) / max_weight;
+      while (c.credit >= 1.0) {
+        c.credit -= 1.0;
+        // Walk this backend's permutation to its next empty slot.
+        std::uint64_t slot;
+        do {
+          slot = (c.offset + c.next * c.skip) % table_size_;
+          ++c.next;
+        } while (table_[slot] != kNoBackend);
+        table_[slot] = c.id;
+        if (++filled == table_size_) return;
+      }
+    }
+  }
+}
+
+BackendId MaglevTable::lookup(const FlowKey& flow) const {
+  return lookup_hash(hash_flow(flow, seed_));
+}
+
+BackendId MaglevTable::lookup_hash(std::uint64_t hash) const {
+  return table_[hash % table_size_];
+}
+
+std::size_t MaglevTable::slots_owned(BackendId id) const {
+  return static_cast<std::size_t>(
+      std::count(table_.begin(), table_.end(), id));
+}
+
+std::vector<double> MaglevTable::shares() const {
+  std::vector<double> out(max_backend_id_ + 1, 0.0);
+  for (BackendId id : table_) {
+    if (id == kNoBackend) continue;
+    if (id >= out.size()) out.resize(id + 1, 0.0);
+    out[id] += 1.0;
+  }
+  for (auto& v : out) v /= static_cast<double>(table_size_);
+  return out;
+}
+
+std::size_t MaglevTable::shift_slots(BackendId from, double fraction) {
+  INBAND_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  // Receivers: every other backend currently in the table.
+  std::vector<BackendId> receivers;
+  for (BackendId id : table_) {
+    if (id == kNoBackend || id == from) continue;
+    if (std::find(receivers.begin(), receivers.end(), id) ==
+        receivers.end()) {
+      receivers.push_back(id);
+    }
+  }
+  if (receivers.empty()) return 0;
+  std::sort(receivers.begin(), receivers.end());
+
+  auto want = static_cast<std::size_t>(
+      fraction * static_cast<double>(table_size_) + 0.999999);
+  std::size_t moved = 0;
+  std::size_t rr = 0;
+  for (std::uint64_t i = 0; i < table_size_ && moved < want; ++i) {
+    if (table_[i] != from) continue;
+    table_[i] = receivers[rr];
+    rr = (rr + 1) % receivers.size();
+    ++moved;
+  }
+  return moved;
+}
+
+std::size_t MaglevTable::move_slots(BackendId from, BackendId to,
+                                    std::size_t count) {
+  std::size_t moved = 0;
+  for (std::uint64_t i = 0; i < table_size_ && moved < count; ++i) {
+    if (table_[i] != from) continue;
+    table_[i] = to;
+    ++moved;
+  }
+  return moved;
+}
+
+std::size_t MaglevTable::diff(const MaglevTable& other) const {
+  INBAND_ASSERT(other.table_size_ == table_size_);
+  std::size_t d = 0;
+  for (std::uint64_t i = 0; i < table_size_; ++i) {
+    if (table_[i] != other.table_[i]) ++d;
+  }
+  return d;
+}
+
+}  // namespace inband

@@ -1,0 +1,50 @@
+// Routing-policy interface for the LB dataplane.
+//
+// A policy decides where *new* flows go and observes every client→server
+// packet the LB forwards (after conntrack resolution, so the packet comes
+// annotated with the backend it is bound to). The observation hook is the
+// entire vantage the paper allows: requests only, no responses.
+#pragma once
+
+#include <string>
+
+#include "lb/backend.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace inband {
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Backend for a new flow; kNoBackend refuses (the LB drops the packet).
+  virtual BackendId pick(const FlowKey& flow, SimTime now) = 0;
+
+  // Every forwarded client→server packet, annotated with its backend and
+  // whether this packet created the flow's conntrack entry.
+  virtual void on_packet(const Packet& pkt, BackendId backend, SimTime now,
+                         bool new_flow) {
+    (void)pkt;
+    (void)backend;
+    (void)now;
+    (void)new_flow;
+  }
+
+  // The flow was seen finishing (FIN or RST through the LB).
+  virtual void on_flow_closed(const FlowKey& flow, BackendId backend,
+                              SimTime now) {
+    (void)flow;
+    (void)backend;
+    (void)now;
+  }
+
+  // The backend pool changed (health flip, weight change). Policies that
+  // precompute structures (hash tables, weight sums) rebuild here. Existing
+  // connections are unaffected: conntrack pins them until they finish.
+  virtual void on_pool_change(const BackendPool& pool) { (void)pool; }
+};
+
+}  // namespace inband

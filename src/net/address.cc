@@ -1,0 +1,18 @@
+#include "net/address.h"
+
+#include <cstdio>
+
+namespace inband {
+
+std::string format_ipv4(Ipv4 addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+std::string format_endpoint(const Endpoint& ep) {
+  return format_ipv4(ep.addr) + ":" + std::to_string(ep.port);
+}
+
+}  // namespace inband

@@ -1,0 +1,30 @@
+// Network addressing: IPv4 addresses and (address, port) endpoints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace inband {
+
+// IPv4 address in host byte order (the simulator never serializes headers,
+// so there is no wire byte order to respect).
+using Ipv4 = std::uint32_t;
+
+constexpr Ipv4 make_ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                         std::uint8_t d) {
+  return (static_cast<Ipv4>(a) << 24) | (static_cast<Ipv4>(b) << 16) |
+         (static_cast<Ipv4>(c) << 8) | static_cast<Ipv4>(d);
+}
+
+std::string format_ipv4(Ipv4 addr);
+
+struct Endpoint {
+  Ipv4 addr = 0;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+std::string format_endpoint(const Endpoint& ep);
+
+}  // namespace inband

@@ -1,0 +1,49 @@
+// Connection 5-tuple identification.
+//
+// FlowKey is the identifier an L4 load balancer keys everything on: the
+// conntrack table, the per-flow estimator state, and TCP demultiplexing.
+// Hashing mixes all tuple fields through splitmix64 — cheap, and good enough
+// that Maglev slot selection and conntrack bucketing are unbiased in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/address.h"
+#include "util/rng.h"
+
+namespace inband {
+
+enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+struct FlowKey {
+  Endpoint src;
+  Endpoint dst;
+  IpProto proto = IpProto::kTcp;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  // The same connection seen from the opposite direction.
+  FlowKey reversed() const { return FlowKey{dst, src, proto}; }
+};
+
+inline std::uint64_t hash_flow(const FlowKey& f, std::uint64_t seed = 0) {
+  std::uint64_t h = seed;
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(f.src.addr) << 16 |
+                      f.src.port));
+  h = splitmix64(h ^ (static_cast<std::uint64_t>(f.dst.addr) << 16 |
+                      f.dst.port));
+  h = splitmix64(h ^ static_cast<std::uint64_t>(f.proto));
+  return h;
+}
+
+std::string format_flow(const FlowKey& f);
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& f) const noexcept {
+    return static_cast<std::size_t>(hash_flow(f));
+  }
+};
+
+}  // namespace inband

@@ -1,0 +1,57 @@
+#include "net/network.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace inband {
+
+Host::Host(Simulator& sim, Network& net, Ipv4 addr, std::string name)
+    : sim_{sim}, net_{net}, addr_{addr}, name_{std::move(name)} {
+  net_.attach(*this);
+}
+
+void Network::attach(Host& host) {
+  const auto [it, inserted] = hosts_.emplace(host.addr(), &host);
+  (void)it;
+  INBAND_ASSERT(inserted, "duplicate host address");
+}
+
+Link& Network::add_link(Ipv4 from, Ipv4 to, const LinkParams& params) {
+  INBAND_ASSERT(from != to, "self-link");
+  auto link = std::make_unique<Link>(sim_, params);
+  auto& ref = *link;
+  const auto [it, inserted] = links_.emplace(key(from, to), std::move(link));
+  (void)it;
+  INBAND_ASSERT(inserted, "duplicate link");
+  return ref;
+}
+
+bool Network::has_link(Ipv4 from, Ipv4 to) const {
+  return links_.find(key(from, to)) != links_.end();
+}
+
+Link& Network::link(Ipv4 from, Ipv4 to) {
+  const auto it = links_.find(key(from, to));
+  INBAND_ASSERT(it != links_.end(), "no such link");
+  return *it->second;
+}
+
+bool Network::send(Ipv4 from, Ipv4 to, Packet pkt) {
+  const auto lit = links_.find(key(from, to));
+  INBAND_ASSERT(lit != links_.end(), "sending over a missing link");
+  const auto hit = hosts_.find(to);
+  INBAND_ASSERT(hit != hosts_.end(), "no host attached at destination");
+
+  pkt.pkt_id = next_pkt_id_++;
+  pkt.sent_at = sim_.now();
+  if (send_hook_) send_hook_(pkt, from, to);
+
+  ++packets_sent_;
+  if (!lit->second->transmit(std::move(pkt), *hit->second)) {
+    ++packets_dropped_;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace inband

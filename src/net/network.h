@@ -1,0 +1,104 @@
+// Network fabric: hosts wired together by directed point-to-point links.
+//
+// Routing is a single hop: send(from, to, pkt) looks up the (from, to) link
+// and delivers to the host attached at `to`. The delivery address is
+// deliberately independent of the packet's flow key — that is how an L4 LB
+// forwards a client→VIP packet to a chosen backend without rewriting the
+// flow (the server accepts traffic for the VIP, as under real direct server
+// return), and how the server's response travels straight back to the client
+// without ever crossing the LB.
+//
+// Topology is fixed after setup; sending over a missing link is a programming
+// error and asserts.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace inband {
+
+class Host;
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) : sim_{sim} {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+
+  // Registers the host under its address (must be unique).
+  void attach(Host& host);
+
+  // Creates a directed link from `from` to `to`.
+  Link& add_link(Ipv4 from, Ipv4 to, const LinkParams& params);
+
+  // Creates both directions with the same parameters.
+  void add_duplex_link(Ipv4 a, Ipv4 b, const LinkParams& params) {
+    add_link(a, b, params);
+    add_link(b, a, params);
+  }
+
+  // Link accessor for runtime tweaks (delay injection); asserts if missing.
+  Link& link(Ipv4 from, Ipv4 to);
+  bool has_link(Ipv4 from, Ipv4 to) const;
+
+  // Stamps pkt_id / sent_at and transmits. Returns false on queue drop.
+  bool send(Ipv4 from, Ipv4 to, Packet pkt);
+
+  // Observation hook invoked for every packet handed to a link (after
+  // stamping, before delivery). Used by the trace recorder.
+  using SendHook =
+      std::function<void(const Packet&, Ipv4 from, Ipv4 to)>;
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+ private:
+  static std::uint64_t key(Ipv4 from, Ipv4 to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  Simulator& sim_;
+  std::unordered_map<Ipv4, Host*> hosts_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+  SendHook send_hook_;
+  std::uint64_t next_pkt_id_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
+};
+
+// A node attached to the network. Subclasses implement handle_packet();
+// outbound traffic goes through send() / send_to().
+class Host : public PacketSink {
+ public:
+  Host(Simulator& sim, Network& net, Ipv4 addr, std::string name);
+  ~Host() override = default;
+
+  Ipv4 addr() const { return addr_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+  Network& network() { return net_; }
+
+  // Sends toward the packet's flow destination (the normal endpoint case).
+  bool send(Packet pkt) { return net_.send(addr_, pkt.flow.dst.addr, std::move(pkt)); }
+
+  // Sends toward an explicit next hop regardless of the flow key (the LB
+  // forwarding case).
+  bool send_to(Ipv4 to, Packet pkt) { return net_.send(addr_, to, std::move(pkt)); }
+
+ private:
+  Simulator& sim_;
+  Network& net_;
+  Ipv4 addr_;
+  std::string name_;
+};
+
+}  // namespace inband

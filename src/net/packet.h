@@ -1,0 +1,75 @@
+// The simulated packet.
+//
+// A TCP-ish segment: flow key, 32-bit sequence/ack numbers (with wraparound,
+// as on the wire), flags, advertised window, timestamp option, and a payload
+// *length* rather than payload bytes. Application messages ride along as
+// shared_ptrs annotated with the stream offset at which they end, so the
+// receiver's TCP can deliver a message object exactly when its final byte
+// arrives in order — message content never teleports around the simulated
+// network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+#include "util/time.h"
+
+namespace inband {
+
+// Base class for application payload objects carried inside packets.
+struct AppPayload {
+  virtual ~AppPayload() = default;
+};
+
+// A message whose final byte lies within this segment's payload.
+// `end_offset` is an absolute 64-bit stream offset (one past the last byte).
+struct MessageRef {
+  std::uint64_t end_offset = 0;
+  std::shared_ptr<const AppPayload> payload;
+};
+
+namespace tcpflag {
+inline constexpr std::uint8_t kSyn = 1 << 0;
+inline constexpr std::uint8_t kAck = 1 << 1;
+inline constexpr std::uint8_t kFin = 1 << 2;
+inline constexpr std::uint8_t kRst = 1 << 3;
+inline constexpr std::uint8_t kPsh = 1 << 4;
+}  // namespace tcpflag
+
+struct Packet {
+  FlowKey flow;
+  std::uint32_t seq = 0;        // sequence number of the first payload byte
+  std::uint32_t ack = 0;        // cumulative ack (valid when kAck set)
+  std::uint32_t wnd = 0;        // advertised receive window, bytes
+  std::uint8_t flags = 0;
+  std::uint32_t payload_len = 0;
+
+  // TCP timestamp option (always on in this model).
+  SimTime ts_val = kNoTime;  // sender clock at transmission
+  SimTime ts_ecr = kNoTime;  // echoed peer timestamp
+
+  // Application message boundaries inside this segment (sender-ordered).
+  std::vector<MessageRef> msgs;
+
+  // Bookkeeping stamped by Network::send().
+  std::uint64_t pkt_id = 0;
+  SimTime sent_at = kNoTime;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+
+  // Bytes on the wire: IPv4 (20) + TCP with timestamp option (32) + payload.
+  std::uint32_t wire_size() const { return 52 + payload_len; }
+
+  // Sequence space this segment occupies (SYN and FIN consume one each).
+  std::uint32_t seq_len() const {
+    return payload_len + (has(tcpflag::kSyn) ? 1u : 0u) +
+           (has(tcpflag::kFin) ? 1u : 0u);
+  }
+};
+
+std::string format_packet(const Packet& p);
+
+}  // namespace inband

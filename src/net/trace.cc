@@ -1,0 +1,76 @@
+#include "net/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace inband {
+
+TraceRecorder::TraceRecorder(Network& net, std::optional<Ipv4> vantage) {
+  net.set_send_hook([this, vantage](const Packet& pkt, Ipv4 from, Ipv4 to) {
+    if (vantage && *vantage != from && *vantage != to) return;
+    rows_.push_back({pkt.sent_at, from, to, pkt.flow, pkt.seq, pkt.ack,
+                     pkt.flags, pkt.payload_len});
+  });
+}
+
+void TraceRecorder::save_csv(const std::string& path) const {
+  CsvWriter csv{path};
+  csv.header("t_ns", "hop_from", "hop_to", "src_addr", "src_port", "dst_addr",
+             "dst_port", "proto", "seq", "ack", "flags", "payload_len");
+  for (const auto& r : rows_) {
+    csv.row(r.t, r.hop_from, r.hop_to, r.flow.src.addr, r.flow.src.port,
+            r.flow.dst.addr, r.flow.dst.port,
+            static_cast<unsigned>(r.flow.proto), r.seq, r.ack,
+            static_cast<unsigned>(r.flags), r.payload_len);
+  }
+}
+
+std::vector<TraceRow> TraceRecorder::load_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.is_open()) throw std::runtime_error("cannot open trace: " + path);
+  std::vector<TraceRow> rows;
+  std::string line;
+  bool first = true;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (first) {  // header
+      first = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::string field;
+    std::vector<std::uint64_t> v;
+    while (std::getline(ls, field, ',')) {
+      try {
+        v.push_back(std::stoull(field));
+      } catch (const std::exception&) {
+        throw std::runtime_error("bad trace field at line " +
+                                 std::to_string(lineno) + ": " + field);
+      }
+    }
+    if (v.size() != 12) {
+      throw std::runtime_error("bad trace row at line " +
+                               std::to_string(lineno));
+    }
+    TraceRow r;
+    r.t = static_cast<SimTime>(v[0]);
+    r.hop_from = static_cast<Ipv4>(v[1]);
+    r.hop_to = static_cast<Ipv4>(v[2]);
+    r.flow.src = {static_cast<Ipv4>(v[3]), static_cast<std::uint16_t>(v[4])};
+    r.flow.dst = {static_cast<Ipv4>(v[5]), static_cast<std::uint16_t>(v[6])};
+    r.flow.proto = static_cast<IpProto>(v[7]);
+    r.seq = static_cast<std::uint32_t>(v[8]);
+    r.ack = static_cast<std::uint32_t>(v[9]);
+    r.flags = static_cast<std::uint8_t>(v[10]);
+    r.payload_len = static_cast<std::uint32_t>(v[11]);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace inband

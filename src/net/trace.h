@@ -1,0 +1,51 @@
+// Packet trace recording and offline replay.
+//
+// TraceRecorder hooks Network's send path and keeps one row per packet.
+// Traces can be saved to CSV and reloaded, which lets the estimators run
+// offline over captured traffic (see examples/trace_analysis.cc) — the same
+// way one would run them over a pcap from a production LB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace inband {
+
+struct TraceRow {
+  SimTime t = 0;  // transmission timestamp
+  Ipv4 hop_from = 0;
+  Ipv4 hop_to = 0;
+  FlowKey flow;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t payload_len = 0;
+};
+
+class TraceRecorder {
+ public:
+  // Starts recording on `net`. Optionally filter to packets observed
+  // departing from or arriving at `vantage` (e.g. record only what an LB
+  // forwards). Replaces any previously installed send hook.
+  explicit TraceRecorder(Network& net,
+                         std::optional<Ipv4> vantage = std::nullopt);
+
+  const std::vector<TraceRow>& rows() const { return rows_; }
+  void clear() { rows_.clear(); }
+
+  void save_csv(const std::string& path) const;
+
+  // Parses a file produced by save_csv. Throws std::runtime_error on
+  // malformed input.
+  static std::vector<TraceRow> load_csv(const std::string& path);
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace inband

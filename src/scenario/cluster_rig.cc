@@ -1,0 +1,168 @@
+#include "scenario/cluster_rig.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace inband {
+
+namespace {
+constexpr Ipv4 client_addr(int i) {
+  return make_ipv4(10, 0, 0, static_cast<std::uint8_t>(1 + i));
+}
+constexpr Ipv4 vip_addr(int i) {
+  return make_ipv4(10, 1, 0, static_cast<std::uint8_t>(1 + i));
+}
+constexpr Ipv4 server_addr(int i) {
+  return make_ipv4(10, 2, 0, static_cast<std::uint8_t>(1 + i));
+}
+}  // namespace
+
+const char* lb_mode_name(LbMode mode) {
+  switch (mode) {
+    case LbMode::kStaticMaglev:
+      return "maglev-static";
+    case LbMode::kInband:
+      return "inband-latency-aware";
+    case LbMode::kRoundRobin:
+      return "round-robin";
+    case LbMode::kLeastConn:
+      return "least-conn";
+    case LbMode::kWeightedRandom:
+      return "weighted-random";
+  }
+  return "?";
+}
+
+ClusterRig::ClusterRig(ClusterRigConfig config)
+    : config_{std::move(config)}, net_{sim_} {
+  INBAND_ASSERT(config_.num_servers >= 1);
+  INBAND_ASSERT(config_.num_lbs >= 1);
+  INBAND_ASSERT(config_.num_client_hosts >= 1);
+  INBAND_ASSERT(config_.victim < config_.num_servers);
+
+  // Servers.
+  BackendPool pool;
+  for (int s = 0; s < config_.num_servers; ++s) {
+    auto host = std::make_unique<TcpHost>(sim_, net_, server_addr(s),
+                                          "server" + std::to_string(s),
+                                          config_.tcp, config_.seed + 100 +
+                                              static_cast<std::uint64_t>(s));
+    KvServerConfig sc = config_.server;
+    sc.seed = config_.seed + 200 + static_cast<std::uint64_t>(s);
+    servers_.push_back(std::make_unique<KvServer>(*host, sc));
+    pool.push_back({static_cast<BackendId>(s), "server" + std::to_string(s),
+                    server_addr(s), 1, true});
+    server_hosts_.push_back(std::move(host));
+  }
+
+  // Load balancers.
+  for (int l = 0; l < config_.num_lbs; ++l) {
+    auto policy = make_policy(pool, l);
+    auto* inband = dynamic_cast<InbandLbPolicy*>(policy.get());
+    inband_policies_.push_back(inband);
+    lbs_.push_back(std::make_unique<LoadBalancer>(
+        sim_, net_, vip_addr(l), "lb" + std::to_string(l), pool,
+        std::move(policy)));
+    for (int s = 0; s < config_.num_servers; ++s) {
+      net_.add_link(vip_addr(l), server_addr(s),
+                    {config_.bandwidth_bps, config_.lb_server_delay, 0});
+    }
+  }
+
+  // Clients (assigned to LBs round-robin when there are several).
+  for (int c = 0; c < config_.num_client_hosts; ++c) {
+    auto host = std::make_unique<TcpHost>(sim_, net_, client_addr(c),
+                                          "client" + std::to_string(c),
+                                          config_.tcp,
+                                          config_.seed + 300 +
+                                              static_cast<std::uint64_t>(c));
+    const int lb_index = c % config_.num_lbs;
+    const SimTime extra =
+        static_cast<std::size_t>(c) < config_.client_extra_distance.size()
+            ? config_.client_extra_distance[static_cast<std::size_t>(c)]
+            : 0;
+    net_.add_link(client_addr(c), vip_addr(lb_index),
+                  {config_.bandwidth_bps, config_.client_lb_delay + extra, 0});
+    for (int s = 0; s < config_.num_servers; ++s) {
+      net_.add_link(
+          server_addr(s), client_addr(c),
+          {config_.bandwidth_bps, config_.server_client_delay + extra, 0});
+    }
+    KvClientConfig cc = config_.client;
+    cc.server = Endpoint{vip_addr(lb_index), config_.server.port};
+    cc.seed = config_.seed + 400 + static_cast<std::uint64_t>(c);
+    auto client = std::make_unique<KvClient>(*host, cc);
+    client->set_recorder(
+        [this](const RequestRecord& rec) { records_.push_back(rec); });
+    clients_.push_back(std::move(client));
+    client_hosts_.push_back(std::move(host));
+  }
+
+  if (config_.share_sample_interval > 0 && inband_policies_[0] != nullptr) {
+    share_sampler_ = std::make_unique<PeriodicTask>(
+        sim_, config_.share_sample_interval, [this](SimTime now) {
+          share_history_.push_back(
+              {now, inband_policies_[0]->table().shares()});
+        });
+  }
+}
+
+ClusterRig::~ClusterRig() = default;
+
+std::unique_ptr<RoutingPolicy> ClusterRig::make_policy(
+    const BackendPool& pool, int lb_index) {
+  switch (config_.mode) {
+    case LbMode::kStaticMaglev:
+      return std::make_unique<StaticMaglevPolicy>(pool,
+                                                  config_.maglev_table_size);
+    case LbMode::kInband: {
+      InbandPolicyConfig ic = config_.inband;
+      ic.maglev_table_size = config_.maglev_table_size;
+      return std::make_unique<InbandLbPolicy>(pool, ic);
+    }
+    case LbMode::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>(pool);
+    case LbMode::kLeastConn:
+      return std::make_unique<LeastConnPolicy>(pool);
+    case LbMode::kWeightedRandom:
+      return std::make_unique<WeightedRandomPolicy>(
+          pool, config_.seed + 500 + static_cast<std::uint64_t>(lb_index));
+  }
+  return std::make_unique<StaticMaglevPolicy>(pool,
+                                              config_.maglev_table_size);
+}
+
+void ClusterRig::run() {
+  Simulator::LogClockGuard log_guard{sim_};
+
+  if (config_.inject_time < config_.duration && config_.inject_extra > 0) {
+    sim_.schedule_at(config_.inject_time, [this] {
+      for (int l = 0; l < config_.num_lbs; ++l) {
+        net_.link(vip_addr(l), server_addr(config_.victim))
+            .set_extra_delay(config_.inject_extra);
+      }
+      LOG_INFO() << "injected " << format_duration(config_.inject_extra)
+                 << " on LB->server" << config_.victim << " paths";
+    });
+  }
+
+  if (share_sampler_) share_sampler_->start(config_.share_sample_interval);
+  for (auto& c : clients_) c->start();
+  sim_.run_until(config_.duration);
+  for (auto& c : clients_) c->stop();
+}
+
+std::vector<Sample> ClusterRig::get_latency_samples() const {
+  std::vector<Sample> out;
+  out.reserve(records_.size() / 2 + 1);
+  for (const auto& r : records_) {
+    if (r.op == KvOp::kGet) out.push_back({r.sent_at, r.latency});
+  }
+  return out;
+}
+
+InbandLbPolicy* ClusterRig::inband_policy(int i) {
+  return inband_policies_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace inband

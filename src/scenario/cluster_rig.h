@@ -1,0 +1,123 @@
+// Fig. 3 rig: a load-balanced memcached-style cluster.
+//
+//   memtier-style clients ──► LB(VIP, Maglev) ──► N KV servers
+//            ▲                                        │
+//            └────────── direct server return ────────┘
+//
+// Mid-run, an extra 1 ms delay is injected on the LB→victim-server link
+// (the paper's experiment injects the delay on exactly that path). The rig
+// records every completed GET/SET with its client-side latency, the LB's
+// per-backend slot shares over time, and (for the in-band policy) the shift
+// history — everything needed to reproduce Fig. 3 and the reaction-time
+// claim, and to run the α/pool-size/multi-LB ablations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/kv_client.h"
+#include "app/kv_server.h"
+#include "core/inband_lb_policy.h"
+#include "lb/load_balancer.h"
+#include "lb/policies.h"
+#include "scenario/metrics.h"
+
+namespace inband {
+
+enum class LbMode {
+  kStaticMaglev,
+  kInband,
+  kRoundRobin,
+  kLeastConn,
+  kWeightedRandom,
+};
+
+const char* lb_mode_name(LbMode mode);
+
+struct ClusterRigConfig {
+  int num_servers = 2;
+  int num_lbs = 1;       // >1 => independent LBs sharing the server pool
+  int num_client_hosts = 2;
+
+  LbMode mode = LbMode::kInband;
+  InbandPolicyConfig inband;  // used when mode == kInband
+  std::uint64_t maglev_table_size = 4099;
+
+  KvServerConfig server;
+  KvClientConfig client;  // `server` endpoint is filled in by the rig
+
+  // Network.
+  SimTime client_lb_delay = us(20);
+  SimTime lb_server_delay = us(20);
+  SimTime server_client_delay = us(40);
+  // Extra one-way distance per client host (both directions), index-aligned
+  // with client hosts; missing entries mean 0. Models far / non-equidistant
+  // clients (paper §5(1)).
+  std::vector<SimTime> client_extra_distance;
+  std::uint64_t bandwidth_bps = 10'000'000'000;
+  TcpConfig tcp;
+
+  // Fault injection: extra delay on LB→servers[victim] from inject_time on.
+  SimTime inject_time = sec(10);
+  SimTime inject_extra = ms(1);
+  int victim = 0;
+
+  SimTime duration = sec(20);
+  // Sample LB slot shares every this often (0 disables).
+  SimTime share_sample_interval = ms(1);
+  std::uint64_t seed = 2022;
+};
+
+struct ShareSnapshot {
+  SimTime t;
+  std::vector<double> shares;  // per backend id, LB 0's table
+};
+
+class ClusterRig {
+ public:
+  explicit ClusterRig(ClusterRigConfig config);
+  ~ClusterRig();
+
+  void run();
+
+  // All completed requests (client-side ground truth).
+  const std::vector<RequestRecord>& records() const { return records_; }
+  // GET latencies only, as (t, latency) samples — the Fig. 3 series.
+  std::vector<Sample> get_latency_samples() const;
+
+  const std::vector<ShareSnapshot>& share_history() const {
+    return share_history_;
+  }
+
+  Simulator& sim() { return sim_; }
+  LoadBalancer& lb(int i = 0) { return *lbs_[static_cast<std::size_t>(i)]; }
+  int num_lbs() const { return static_cast<int>(lbs_.size()); }
+  KvServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  KvClient& client(int i) { return *clients_[static_cast<std::size_t>(i)]; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  // The in-band policy of LB i (null unless mode == kInband).
+  InbandLbPolicy* inband_policy(int i = 0);
+
+  const ClusterRigConfig& config() const { return config_; }
+
+ private:
+  std::unique_ptr<RoutingPolicy> make_policy(const BackendPool& pool,
+                                             int lb_index);
+
+  ClusterRigConfig config_;
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<TcpHost>> server_hosts_;
+  std::vector<std::unique_ptr<KvServer>> servers_;
+  std::vector<std::unique_ptr<TcpHost>> client_hosts_;
+  std::vector<std::unique_ptr<KvClient>> clients_;
+  std::vector<std::unique_ptr<LoadBalancer>> lbs_;
+  std::vector<InbandLbPolicy*> inband_policies_;  // borrowed, may hold nulls
+  std::vector<RequestRecord> records_;
+  std::vector<ShareSnapshot> share_history_;
+  std::unique_ptr<PeriodicTask> share_sampler_;
+};
+
+}  // namespace inband

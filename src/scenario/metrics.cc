@@ -1,0 +1,68 @@
+#include "scenario/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/time_series.h"
+#include "util/assert.h"
+
+namespace inband {
+
+std::vector<double> relative_errors(std::vector<Sample> estimates,
+                                    std::vector<Sample> truth) {
+  auto by_time = [](const Sample& a, const Sample& b) { return a.t < b.t; };
+  std::sort(estimates.begin(), estimates.end(), by_time);
+  std::sort(truth.begin(), truth.end(), by_time);
+
+  std::vector<double> errors;
+  errors.reserve(estimates.size());
+  std::size_t ti = 0;
+  for (const auto& est : estimates) {
+    // Advance to the last truth sample at or before est.t.
+    while (ti + 1 < truth.size() && truth[ti + 1].t <= est.t) ++ti;
+    if (truth.empty() || truth[ti].t > est.t) continue;
+    const double ref = static_cast<double>(truth[ti].value);
+    if (ref <= 0.0) continue;
+    errors.push_back(std::abs(static_cast<double>(est.value) - ref) / ref);
+  }
+  return errors;
+}
+
+AccuracySummary summarize_accuracy(const std::vector<Sample>& estimates,
+                                   const std::vector<Sample>& truth) {
+  const auto errors = relative_errors(estimates, truth);
+  AccuracySummary s;
+  s.samples = errors.size();
+  if (errors.empty()) return s;
+  double sum = 0.0;
+  for (double e : errors) sum += e;
+  s.mean_rel_error = sum / static_cast<double>(errors.size());
+  s.median_rel_error = exact_percentile(errors, 0.50);
+  s.p90_rel_error = exact_percentile(errors, 0.90);
+  return s;
+}
+
+double mean_in_window(const std::vector<Sample>& samples, SimTime from,
+                      SimTime to) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (s.t >= from && s.t < to) {
+      sum += static_cast<double>(s.value);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double percentile_in_window(const std::vector<Sample>& samples, SimTime from,
+                            SimTime to, double q) {
+  std::vector<double> vals;
+  for (const auto& s : samples) {
+    if (s.t >= from && s.t < to) vals.push_back(static_cast<double>(s.value));
+  }
+  if (vals.empty()) return 0.0;
+  return exact_percentile(std::move(vals), q);
+}
+
+}  // namespace inband

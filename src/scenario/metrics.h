@@ -1,0 +1,43 @@
+// Experiment metrics shared by benches, examples and integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace inband {
+
+// A timestamped duration measurement (estimate or ground truth).
+struct Sample {
+  SimTime t;
+  SimTime value;
+};
+
+// Relative error of each estimate against the ground truth prevailing at the
+// estimate's timestamp. Ground truth is interpreted as a right-continuous
+// step function through `truth` (sorted or not; sorted internally).
+// Estimates earlier than the first truth sample are skipped.
+std::vector<double> relative_errors(std::vector<Sample> estimates,
+                                    std::vector<Sample> truth);
+
+struct AccuracySummary {
+  std::size_t samples = 0;
+  double median_rel_error = 0.0;
+  double p90_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+};
+
+AccuracySummary summarize_accuracy(const std::vector<Sample>& estimates,
+                                   const std::vector<Sample>& truth);
+
+// Mean of sample values within [from, to).
+double mean_in_window(const std::vector<Sample>& samples, SimTime from,
+                      SimTime to);
+
+// Exact percentile (q in [0,1]) of sample values within [from, to);
+// 0 when the window is empty.
+double percentile_in_window(const std::vector<Sample>& samples, SimTime from,
+                            SimTime to, double q);
+
+}  // namespace inband

@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  INBAND_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push({t, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto erased = handlers_.erase(id);
+  if (erased == 0) return false;
+  INBAND_ASSERT(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_heads() {
+  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_heads();
+  return heap_.empty() ? kNoTime : heap_.top().t;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_heads();
+  INBAND_ASSERT(!heap_.empty(), "pop() on empty event queue");
+  const HeapEntry head = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(head.id);
+  INBAND_ASSERT(it != handlers_.end());
+  Popped out{head.t, std::move(it->second)};
+  handlers_.erase(it);
+  --live_;
+  return out;
+}
+
+}  // namespace inband

@@ -1,0 +1,64 @@
+// Cancellable discrete-event queue.
+//
+// Events at equal timestamps pop in insertion (FIFO) order — a property the
+// TCP and LB models rely on for determinism. Cancellation is O(1): the
+// handler slot is erased and the heap entry becomes a tombstone skipped at
+// pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace inband {
+
+// Opaque handle for cancellation. Id 0 is never issued.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventId push(SimTime t, std::function<void()> fn);
+
+  // Returns true if the event existed and had not yet fired.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  // Timestamp of the next live event; kNoTime when empty.
+  SimTime next_time();
+
+  // Pops and returns the next live event's handler (with its time). The
+  // caller invokes it — the queue itself never runs user code.
+  struct Popped {
+    SimTime t;
+    std::function<void()> fn;
+  };
+  Popped pop();
+
+  std::uint64_t total_pushed() const { return next_id_ - 1; }
+
+ private:
+  struct HeapEntry {
+    SimTime t;
+    EventId id;
+    // Later ids sort after earlier ones at equal t => FIFO among ties.
+    bool operator>(const HeapEntry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  void drop_dead_heads();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace inband

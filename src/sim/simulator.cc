@@ -1,0 +1,78 @@
+#include "sim/simulator.h"
+
+#include "util/assert.h"
+#include "util/logging.h"
+
+namespace inband {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  INBAND_ASSERT(t >= now_, "scheduling into the past");
+  return queue_.push(t, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto ev = queue_.pop();
+  INBAND_DCHECK(ev.t >= now_);
+  now_ = ev.t;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.next_time();
+    if (next == kNoTime || next > deadline) break;
+    step();
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+namespace {
+SimTime sim_log_clock(const void* ctx) {
+  return static_cast<const Simulator*>(ctx)->now();
+}
+}  // namespace
+
+Simulator::LogClockGuard::LogClockGuard(const Simulator& sim) {
+  set_log_clock(&sim_log_clock, &sim);
+}
+
+Simulator::LogClockGuard::~LogClockGuard() { set_log_clock(nullptr, nullptr); }
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime period,
+                           std::function<void(SimTime)> fn)
+    : sim_{sim}, period_{period}, fn_{std::move(fn)} {
+  INBAND_ASSERT(period_ > 0);
+  INBAND_ASSERT(fn_ != nullptr);
+}
+
+PeriodicTask::~PeriodicTask() { cancel(); }
+
+void PeriodicTask::start(SimTime first_delay) {
+  INBAND_ASSERT(!active(), "start() on a running PeriodicTask");
+  event_ = sim_.schedule_after(first_delay, [this] { fire(); });
+}
+
+void PeriodicTask::cancel() {
+  if (event_ != kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTask::fire() {
+  // Reschedule before the callback so the callback may cancel us.
+  event_ = sim_.schedule_after(period_, [this] { fire(); });
+  fn_(sim_.now());
+}
+
+}  // namespace inband

@@ -1,0 +1,92 @@
+// Discrete-event simulator: clock + scheduler.
+//
+// Single-threaded by design: every model in this repository is driven from
+// the one event loop, which is what makes runs bit-reproducible. Handlers may
+// schedule and cancel further events freely (including at the current time;
+// such events run after the current handler returns, in FIFO order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "util/time.h"
+
+namespace inband {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn at absolute time t (>= now).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  // Schedules fn `delay` after now (delay >= 0).
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  // Runs until the queue drains or stop() is called.
+  void run();
+
+  // Runs events with time <= deadline; afterwards now() == max(now, deadline)
+  // unless stop() fired earlier.
+  void run_until(SimTime deadline);
+
+  // Executes exactly one event if any; returns false when the queue is empty.
+  bool step();
+
+  // Makes run()/run_until() return after the current handler completes.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  // Installs this simulator's clock as the logging time prefix for the
+  // duration of the returned guard.
+  class LogClockGuard {
+   public:
+    explicit LogClockGuard(const Simulator& sim);
+    ~LogClockGuard();
+    LogClockGuard(const LogClockGuard&) = delete;
+    LogClockGuard& operator=(const LogClockGuard&) = delete;
+  };
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+// Repeating task helper: reschedules itself every `period` until cancelled
+// or its owner is destroyed. The callback receives the firing time.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimTime period,
+               std::function<void(SimTime)> fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start(SimTime first_delay);
+  void cancel();
+  bool active() const { return event_ != kInvalidEventId; }
+
+ private:
+  void fire();
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void(SimTime)> fn_;
+  EventId event_ = kInvalidEventId;
+};
+
+}  // namespace inband

@@ -1,0 +1,53 @@
+// TCP model configuration.
+//
+// The model implements the mechanisms that produce causally-triggered
+// transmissions — flow control (a fixed window), ACK clocking, piggybacked
+// cumulative ACKs — plus the §5 "timing violation" behaviours (delayed ACKs,
+// pacing) as switchable options. Congestion control is deliberately a fixed
+// window: the paper's flows are window/application-limited datacenter flows,
+// and a fixed quota is precisely the "flow control" the measurement technique
+// keys on.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace inband {
+
+struct TcpConfig {
+  // Maximum segment payload bytes.
+  std::uint32_t mss = 1448;
+
+  // Fixed send window (the flow-control quota), bytes. The effective window
+  // is min(cwnd_bytes, peer receive window).
+  std::uint32_t cwnd_bytes = 16 * 1448;
+
+  // Advertised receive buffer, bytes.
+  std::uint32_t recv_buffer_bytes = 1 << 20;
+
+  // Delayed acknowledgements (off by default: memcached-style workloads run
+  // with quickack-ish behaviour; the ablation bench turns this on).
+  bool delayed_ack = false;
+  SimTime delack_timeout = ms(40);
+  int ack_every = 2;  // ack at latest every N full segments
+
+  // Packet pacing of data segments (off by default; ablation knob).
+  bool pacing = false;
+  std::uint64_t pacing_rate_bps = 1'000'000'000;
+
+  // Retransmission timer (RFC 6298 shape).
+  SimTime rto_initial = ms(50);
+  SimTime rto_min = ms(5);
+  SimTime rto_max = sec(4);
+  int max_retries = 8;
+
+  // TIME_WAIT linger (2*MSL equivalent; short — simulated networks do not
+  // hold stragglers for minutes).
+  SimTime time_wait = ms(2);
+
+  // Deterministic ISNs (offset by connection counter) when false.
+  bool random_isn = true;
+};
+
+}  // namespace inband

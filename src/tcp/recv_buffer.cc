@@ -1,0 +1,93 @@
+#include "tcp/recv_buffer.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace inband {
+
+void RecvBuffer::deliver_messages(const std::vector<MessageRef>& msgs,
+                                  std::uint64_t limit, Delivery& out) {
+  for (const auto& m : msgs) {
+    if (m.end_offset > limit) continue;
+    if (m.end_offset <= last_delivered_msg_end_) continue;  // duplicate
+    last_delivered_msg_end_ = m.end_offset;
+    out.messages.push_back(m);
+  }
+}
+
+void RecvBuffer::stash(std::uint64_t start, std::uint64_t end,
+                       const std::vector<MessageRef>& msgs) {
+  // Trim against existing segments to keep ooo_ non-overlapping. Message
+  // refs from trimmed regions are safe to drop: the overlapping segment
+  // already carries an identical ref (retransmissions repeat message
+  // boundaries), and delivery dedupes by end offset anyway.
+  std::uint64_t s = start;
+  for (const auto& seg : ooo_) {
+    if (seg.end <= s) continue;
+    if (seg.start >= end) break;
+    // Overlap: keep only the part before seg, recurse for the part after.
+    if (s < seg.start) {
+      std::vector<MessageRef> head;
+      for (const auto& m : msgs) {
+        if (m.end_offset > s && m.end_offset <= seg.start) head.push_back(m);
+      }
+      OooSegment cut{s, seg.start, std::move(head)};
+      ooo_.push_back(std::move(cut));
+    }
+    s = std::max(s, seg.end);
+  }
+  if (s < end) {
+    std::vector<MessageRef> tail;
+    for (const auto& m : msgs) {
+      if (m.end_offset > s && m.end_offset <= end) tail.push_back(m);
+    }
+    ooo_.push_back({s, end, std::move(tail)});
+  }
+  std::sort(ooo_.begin(), ooo_.end(),
+            [](const OooSegment& a, const OooSegment& b) {
+              return a.start < b.start;
+            });
+}
+
+void RecvBuffer::drain(Delivery& out) {
+  while (!ooo_.empty() && ooo_.front().start <= rcv_nxt_) {
+    OooSegment seg = std::move(ooo_.front());
+    ooo_.erase(ooo_.begin());
+    if (seg.end <= rcv_nxt_) continue;  // fully stale
+    const std::uint64_t advance_from = std::max(seg.start, rcv_nxt_);
+    out.bytes += seg.end - advance_from;
+    rcv_nxt_ = seg.end;
+    deliver_messages(seg.msgs, rcv_nxt_, out);
+  }
+}
+
+RecvBuffer::Delivery RecvBuffer::on_segment(
+    std::uint64_t start, std::uint64_t end,
+    const std::vector<MessageRef>& msgs) {
+  INBAND_ASSERT(start <= end);
+  Delivery out;
+  if (end <= rcv_nxt_) {
+    out.duplicate = true;
+    return out;
+  }
+  if (start > rcv_nxt_) {
+    out.out_of_order = true;
+    stash(start, end, msgs);
+    return out;
+  }
+  // In-order (possibly with a stale prefix).
+  out.bytes += end - rcv_nxt_;
+  rcv_nxt_ = end;
+  deliver_messages(msgs, rcv_nxt_, out);
+  drain(out);
+  return out;
+}
+
+std::uint64_t RecvBuffer::buffered_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : ooo_) total += seg.end - seg.start;
+  return total;
+}
+
+}  // namespace inband

@@ -1,0 +1,59 @@
+// TCP receive-side reassembly.
+//
+// Maintains rcv_nxt (absolute stream offset) and a sorted list of
+// out-of-order segments. Delivery is strictly in-order; message objects are
+// surfaced exactly when the stream reaches their end offset. Duplicate
+// message delivery (possible when retransmitted segments overlap) is
+// suppressed by tracking the largest delivered message end offset.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace inband {
+
+class RecvBuffer {
+ public:
+  // The first expected app byte is offset 1 (offset 0 was the SYN).
+  RecvBuffer() = default;
+
+  struct Delivery {
+    std::uint64_t bytes = 0;  // newly delivered in-order payload bytes
+    std::vector<MessageRef> messages;
+    bool out_of_order = false;  // segment did not advance rcv_nxt
+    bool duplicate = false;     // segment carried no new data at all
+  };
+
+  // Ingests payload [start, end) carrying `msgs`. Offsets are absolute.
+  Delivery on_segment(std::uint64_t start, std::uint64_t end,
+                      const std::vector<MessageRef>& msgs);
+
+  std::uint64_t rcv_nxt() const { return rcv_nxt_; }
+
+  // Bytes held in the out-of-order store (reduces the advertised window).
+  std::uint64_t buffered_bytes() const;
+
+  std::size_t ooo_segments() const { return ooo_.size(); }
+
+ private:
+  struct OooSegment {
+    std::uint64_t start;
+    std::uint64_t end;
+    std::vector<MessageRef> msgs;
+  };
+
+  void stash(std::uint64_t start, std::uint64_t end,
+             const std::vector<MessageRef>& msgs);
+  void drain(Delivery& out);
+  void deliver_messages(const std::vector<MessageRef>& msgs,
+                        std::uint64_t limit, Delivery& out);
+
+  std::uint64_t rcv_nxt_ = 1;
+  std::uint64_t last_delivered_msg_end_ = 0;
+  std::vector<OooSegment> ooo_;  // sorted by start, non-overlapping
+};
+
+}  // namespace inband

@@ -1,0 +1,39 @@
+// 32-bit TCP sequence-number arithmetic.
+//
+// On the wire, sequence numbers wrap modulo 2^32. Internally the connection
+// tracks 64-bit absolute stream offsets (offset 0 == ISN); these helpers
+// convert between the two and compare wire values correctly across the wrap.
+#pragma once
+
+#include <cstdint>
+
+namespace inband {
+
+inline bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+inline bool seq_le(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+inline bool seq_gt(std::uint32_t a, std::uint32_t b) { return seq_lt(b, a); }
+inline bool seq_ge(std::uint32_t a, std::uint32_t b) { return seq_le(b, a); }
+
+// Wire sequence number for absolute stream offset `offset` given ISN.
+inline std::uint32_t wrap_seq(std::uint32_t isn, std::uint64_t offset) {
+  return isn + static_cast<std::uint32_t>(offset);
+}
+
+// Absolute stream offset for wire value `seq`, chosen as the 64-bit value
+// congruent to (seq - isn) mod 2^32 that lies closest to `reference`.
+// `reference` is typically rcv_nxt or snd_una. The result can be negative
+// only for garbage input (e.g. old duplicates before the reference window);
+// callers treat offsets below their window as duplicates.
+inline std::int64_t unwrap_seq(std::uint32_t isn, std::uint32_t seq,
+                               std::uint64_t reference) {
+  const auto rel = static_cast<std::uint32_t>(seq - isn);
+  const auto ref_low = static_cast<std::uint32_t>(reference);
+  const auto diff = static_cast<std::int32_t>(rel - ref_low);
+  return static_cast<std::int64_t>(reference) + diff;
+}
+
+}  // namespace inband

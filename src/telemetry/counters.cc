@@ -1,0 +1,35 @@
+#include "telemetry/counters.h"
+
+#include <algorithm>
+
+namespace inband {
+
+std::uint64_t& CounterSet::get(std::string_view name) {
+  for (auto& slot : slots_) {
+    if (slot.name == name) return slot.value;
+  }
+  slots_.push_back({std::string{name}, 0});
+  return slots_.back().value;
+}
+
+std::uint64_t CounterSet::value(std::string_view name) const {
+  for (const auto& slot : slots_) {
+    if (slot.name == name) return slot.value;
+  }
+  return 0;
+}
+
+std::vector<CounterSet::Entry> CounterSet::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back({slot.name, slot.value});
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void CounterSet::reset() {
+  for (auto& slot : slots_) slot.value = 0;
+}
+
+}  // namespace inband

@@ -1,0 +1,43 @@
+// Named monotonic counters.
+//
+// Components register counters by name in a CounterSet owned by the top-level
+// rig; snapshots go into experiment reports. Lookup by name happens once at
+// wiring time — the hot path increments through the returned reference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inband {
+
+class CounterSet {
+ public:
+  // Returns a stable reference; creating the same name twice returns the
+  // same counter.
+  std::uint64_t& get(std::string_view name);
+
+  // Value of `name`, or 0 when absent.
+  std::uint64_t value(std::string_view name) const;
+
+  struct Entry {
+    std::string name;
+    std::uint64_t value;
+  };
+  // Sorted by name for deterministic output.
+  std::vector<Entry> snapshot() const;
+
+  void reset();
+
+ private:
+  struct Slot {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  // deque: stable element addresses as counters are added.
+  std::deque<Slot> slots_;
+};
+
+}  // namespace inband

@@ -1,0 +1,130 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace inband {
+
+namespace {
+
+// Number of leading buckets (each kSubBucketCount wide) needed to cover
+// values up to max_value with the log-linear scheme.
+std::size_t buckets_needed(std::int64_t max_value) {
+  std::size_t n = Histogram::kSubBucketCount * 2;  // covers [0, 2*64)
+  std::int64_t top = Histogram::kSubBucketCount * 2 - 1;
+  while (top < max_value) {
+    top = top * 2 + 1;
+    n += Histogram::kSubBucketCount;
+  }
+  return n;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::int64_t max_value) : max_value_{max_value} {
+  INBAND_ASSERT(max_value >= kSubBucketCount, "max_value too small");
+  counts_.assign(buckets_needed(max_value), 0);
+}
+
+std::size_t Histogram::index_for(std::int64_t value) const {
+  INBAND_DCHECK(value >= 0);
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < 2 * kSubBucketCount) return static_cast<std::size_t>(v);
+  // Highest set bit of v; v >= 128 here so width >= 8.
+  const int msb = static_cast<int>(std::bit_width(v)) - 1;
+  const int shift = msb - kSubBucketBits;
+  const auto sub = static_cast<std::size_t>((v >> shift) & (kSubBucketCount - 1));
+  // Bucket group g = msb - kSubBucketBits starts at index (g+1)*64.
+  return (static_cast<std::size_t>(shift) + 1) * kSubBucketCount + sub;
+}
+
+std::int64_t Histogram::bucket_low(std::size_t index) const {
+  if (index < 2 * kSubBucketCount) return static_cast<std::int64_t>(index);
+  const std::size_t group = index / kSubBucketCount - 1;
+  const std::size_t sub = index % kSubBucketCount;
+  return static_cast<std::int64_t>((kSubBucketCount + sub) << group);
+}
+
+std::int64_t Histogram::bucket_high(std::size_t index) const {
+  if (index < 2 * kSubBucketCount) return static_cast<std::int64_t>(index) + 1;
+  const std::size_t group = index / kSubBucketCount - 1;
+  return bucket_low(index) + (1LL << group);
+}
+
+std::int64_t Histogram::midpoint(std::size_t index) const {
+  return bucket_low(index) + (bucket_high(index) - bucket_low(index) - 1) / 2;
+}
+
+void Histogram::record_n(std::int64_t value, std::uint64_t count) {
+  if (value < 0) value = 0;
+  if (value > max_value_) {
+    value = max_value_;
+    clamped_ += count;
+  }
+  const std::size_t idx = index_for(value);
+  INBAND_DCHECK(idx < counts_.size());
+  counts_[idx] += count;
+  if (total_ == 0) {
+    observed_min_ = observed_max_ = value;
+  } else {
+    observed_min_ = std::min(observed_min_, value);
+    observed_max_ = std::max(observed_max_, value);
+  }
+  total_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::int64_t Histogram::min() const { return total_ == 0 ? 0 : observed_min_; }
+std::int64_t Histogram::max() const { return total_ == 0 ? 0 : observed_max_; }
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (total_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest rank covering fraction q of the samples, so
+  // q just below 1 already lands on the maximum (important for tail stats).
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  target = std::clamp<std::uint64_t>(target, 1, total_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      return std::clamp(midpoint(i), observed_min_, observed_max_);
+    }
+  }
+  return observed_max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  INBAND_ASSERT(other.counts_.size() == counts_.size(),
+                "merging histograms with different ranges");
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (total_ == 0) {
+    observed_min_ = other.observed_min_;
+    observed_max_ = other.observed_max_;
+  } else {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+  total_ += other.total_;
+  clamped_ += other.clamped_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  clamped_ = 0;
+  observed_min_ = observed_max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace inband

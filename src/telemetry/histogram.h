@@ -1,0 +1,66 @@
+// Log-linear latency histogram (HdrHistogram-flavoured).
+//
+// Values are recorded into buckets that are exact up to 2^kSubBucketBits and
+// thereafter keep kSubBucketBits bits of relative precision (<= ~1.6% error
+// with the default 6 bits) across the whole int64 range. Recording is O(1),
+// allocation-free after construction, and percentile queries interpolate at
+// the bucket midpoint. This is the workhorse for every latency series in the
+// benches, and for the per-server sliding windows the controller reads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace inband {
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 6;
+  static constexpr std::int64_t kSubBucketCount = 1LL << kSubBucketBits;
+
+  // max_value bounds the recordable range; larger values are clamped and
+  // counted in `clamped()`. The default covers 0ns .. ~17.6s.
+  explicit Histogram(std::int64_t max_value = sec(16));
+
+  void record(std::int64_t value) { record_n(value, 1); }
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t clamped() const { return clamped_; }
+  bool empty() const { return total_ == 0; }
+
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+
+  // q in [0, 1]. Returns 0 on an empty histogram.
+  std::int64_t percentile(double q) const;
+
+  // Adds all samples of `other` (which must have the same max_value).
+  void merge(const Histogram& other);
+
+  void reset();
+
+  std::int64_t max_value() const { return max_value_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+
+  // Exposed for tests: the index a value maps to and that bucket's bounds.
+  std::size_t index_for(std::int64_t value) const;
+  std::int64_t bucket_low(std::size_t index) const;
+  std::int64_t bucket_high(std::size_t index) const;  // exclusive
+
+ private:
+  std::int64_t midpoint(std::size_t index) const;
+
+  std::int64_t max_value_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t clamped_ = 0;
+  std::int64_t observed_min_ = 0;
+  std::int64_t observed_max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace inband

@@ -1,0 +1,68 @@
+#include "telemetry/sliding_window.h"
+
+#include "util/assert.h"
+
+namespace inband {
+
+SlidingWindowHistogram::SlidingWindowHistogram(SimTime window, int slices,
+                                               std::int64_t max_value)
+    : window_{window},
+      slice_len_{window / slices},
+      scratch_{max_value} {
+  INBAND_ASSERT(window > 0);
+  INBAND_ASSERT(slices > 0);
+  INBAND_ASSERT(slice_len_ > 0, "window too short for slice count");
+  slices_.reserve(static_cast<std::size_t>(slices));
+  for (int i = 0; i < slices; ++i) slices_.emplace_back(max_value);
+}
+
+void SlidingWindowHistogram::advance_to(SimTime now) {
+  const std::int64_t slice = now / slice_len_;
+  if (!started_) {
+    current_slice_ = slice;
+    started_ = true;
+    return;
+  }
+  INBAND_ASSERT(slice >= current_slice_, "time went backwards");
+  const std::int64_t steps = slice - current_slice_;
+  const auto n = static_cast<std::int64_t>(slices_.size());
+  if (steps >= n) {
+    for (auto& h : slices_) h.reset();
+  } else {
+    for (std::int64_t i = 1; i <= steps; ++i) {
+      slices_[static_cast<std::size_t>((current_slice_ + i) % n)].reset();
+    }
+  }
+  current_slice_ = slice;
+}
+
+void SlidingWindowHistogram::record(SimTime now, std::int64_t value) {
+  advance_to(now);
+  const auto n = static_cast<std::int64_t>(slices_.size());
+  slices_[static_cast<std::size_t>(current_slice_ % n)].record(value);
+}
+
+const Histogram& SlidingWindowHistogram::merged(SimTime now) {
+  advance_to(now);
+  scratch_.reset();
+  for (const auto& h : slices_) scratch_.merge(h);
+  return scratch_;
+}
+
+std::int64_t SlidingWindowHistogram::percentile(SimTime now, double q) {
+  return merged(now).percentile(q);
+}
+
+std::uint64_t SlidingWindowHistogram::count(SimTime now) {
+  return merged(now).count();
+}
+
+double SlidingWindowHistogram::mean(SimTime now) { return merged(now).mean(); }
+
+void SlidingWindowHistogram::reset() {
+  for (auto& h : slices_) h.reset();
+  started_ = false;
+  current_slice_ = 0;
+}
+
+}  // namespace inband

@@ -1,0 +1,46 @@
+// Sliding-window latency statistics.
+//
+// A ring of sub-histograms, each covering window/slices of time. record()
+// rotates the ring forward as simulated time advances, so queries reflect
+// only samples within the trailing window. Percentile queries merge the live
+// slices into a scratch histogram (reused between calls, so queries do not
+// allocate after the first).
+#pragma once
+
+#include <vector>
+
+#include "telemetry/histogram.h"
+#include "util/time.h"
+
+namespace inband {
+
+class SlidingWindowHistogram {
+ public:
+  SlidingWindowHistogram(SimTime window, int slices = 8,
+                         std::int64_t max_value = sec(16));
+
+  void record(SimTime now, std::int64_t value);
+
+  // Statistics over the trailing window ending at `now`. `now` must be
+  // monotonically non-decreasing across all calls (record or query).
+  std::int64_t percentile(SimTime now, double q);
+  std::uint64_t count(SimTime now);
+  double mean(SimTime now);
+
+  SimTime window() const { return window_; }
+
+  void reset();
+
+ private:
+  void advance_to(SimTime now);
+  const Histogram& merged(SimTime now);
+
+  SimTime window_;
+  SimTime slice_len_;
+  std::vector<Histogram> slices_;
+  Histogram scratch_;
+  std::int64_t current_slice_ = 0;  // absolute slice index of ring head
+  bool started_ = false;
+};
+
+}  // namespace inband

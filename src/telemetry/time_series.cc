@@ -1,0 +1,101 @@
+#include "telemetry/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/assert.h"
+
+namespace inband {
+
+const char* agg_name(Agg agg) {
+  switch (agg) {
+    case Agg::kMean:
+      return "mean";
+    case Agg::kMin:
+      return "min";
+    case Agg::kMax:
+      return "max";
+    case Agg::kCount:
+      return "count";
+    case Agg::kP50:
+      return "p50";
+    case Agg::kP90:
+      return "p90";
+    case Agg::kP95:
+      return "p95";
+    case Agg::kP99:
+      return "p99";
+  }
+  return "?";
+}
+
+double exact_percentile(std::vector<double> values, double q) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  // Nearest-rank with linear interpolation between adjacent order statistics.
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::vector<BucketRow> TimeSeries::bucketize(SimTime width, Agg agg) const {
+  INBAND_ASSERT(width > 0);
+  std::vector<BucketRow> out;
+  if (points_.empty()) return out;
+
+  std::map<std::int64_t, std::vector<double>> buckets;
+  for (const auto& p : points_) {
+    INBAND_ASSERT(p.t >= 0, "negative timestamps unsupported");
+    buckets[p.t / width].push_back(p.value);
+  }
+
+  const std::int64_t first = buckets.begin()->first;
+  const std::int64_t last = buckets.rbegin()->first;
+  out.reserve(static_cast<std::size_t>(last - first + 1));
+  for (std::int64_t b = first; b <= last; ++b) {
+    const auto it = buckets.find(b);
+    BucketRow row{b * width, std::numeric_limits<double>::quiet_NaN(), 0};
+    if (it != buckets.end() && !it->second.empty()) {
+      auto& vals = it->second;
+      row.count = vals.size();
+      switch (agg) {
+        case Agg::kMean: {
+          double sum = 0.0;
+          for (double v : vals) sum += v;
+          row.value = sum / static_cast<double>(vals.size());
+          break;
+        }
+        case Agg::kMin:
+          row.value = *std::min_element(vals.begin(), vals.end());
+          break;
+        case Agg::kMax:
+          row.value = *std::max_element(vals.begin(), vals.end());
+          break;
+        case Agg::kCount:
+          row.value = static_cast<double>(vals.size());
+          break;
+        case Agg::kP50:
+          row.value = exact_percentile(vals, 0.50);
+          break;
+        case Agg::kP90:
+          row.value = exact_percentile(vals, 0.90);
+          break;
+        case Agg::kP95:
+          row.value = exact_percentile(vals, 0.95);
+          break;
+        case Agg::kP99:
+          row.value = exact_percentile(vals, 0.99);
+          break;
+      }
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace inband

@@ -1,0 +1,56 @@
+// Time-series collection for experiment output.
+//
+// TimeSeries stores raw (t, value) points; bucketize() aggregates them into
+// fixed-width time buckets with a chosen statistic. The Fig. 3 bench, for
+// example, records every GET latency and renders a p95-per-second series the
+// same way the paper's plot does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace inband {
+
+enum class Agg { kMean, kMin, kMax, kCount, kP50, kP90, kP95, kP99 };
+
+const char* agg_name(Agg agg);
+
+struct TimePoint {
+  SimTime t;
+  double value;
+};
+
+struct BucketRow {
+  SimTime bucket_start;
+  double value;
+  std::uint64_t count;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::size_t reserve) { points_.reserve(reserve); }
+
+  void add(SimTime t, double value) { points_.push_back({t, value}); }
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  // Aggregates into buckets of `width` starting at t=0. Empty buckets within
+  // the data span are emitted with count 0 (value NaN), so plots show gaps
+  // honestly. Points need not be time-ordered.
+  std::vector<BucketRow> bucketize(SimTime width, Agg agg) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+// Percentile over an arbitrary vector (exact, by sorting a copy). Handy for
+// small sample sets where a histogram would be overkill. q in [0,1].
+double exact_percentile(std::vector<double> values, double q);
+
+}  // namespace inband

@@ -1,0 +1,36 @@
+// Lightweight assertion macros.
+//
+// INBAND_ASSERT is active in every build type: it guards contract violations
+// on slow paths (setup, teardown, control plane). INBAND_DCHECK compiles out
+// in NDEBUG builds and may be used on the per-packet fast path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace inband::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "assertion failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace inband::detail
+
+#define INBAND_ASSERT(cond, ...)                                       \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::inband::detail::assert_fail(#cond, __FILE__, __LINE__,         \
+                                    "" __VA_ARGS__);                   \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define INBAND_DCHECK(cond, ...) \
+  do {                           \
+  } while (0)
+#else
+#define INBAND_DCHECK(cond, ...) INBAND_ASSERT(cond, ##__VA_ARGS__)
+#endif

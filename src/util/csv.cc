@@ -1,0 +1,41 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace inband {
+
+CsvWriter::CsvWriter(const std::string& path) : file_{path}, out_{&file_} {
+  if (!file_.is_open()) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::write_string(std::string_view s) {
+  const bool needs_quoting =
+      s.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) {
+    *out_ << s;
+    return;
+  }
+  *out_ << '"';
+  for (char c : s) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+}
+
+void CsvWriter::write_double(double v) {
+  if (std::isnan(v)) {
+    *out_ << "nan";
+    return;
+  }
+  // %g keeps output compact while preserving enough precision for plots.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  *out_ << buf;
+}
+
+}  // namespace inband

@@ -1,0 +1,72 @@
+// CSV output for experiment results.
+//
+// Every bench emits its figure/table series through CsvWriter so the rows are
+// both human-scannable on stdout and machine-parseable for plotting. Fields
+// containing commas, quotes or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/assert.h"
+
+namespace inband {
+
+class CsvWriter {
+ public:
+  // Writes to an externally owned stream (e.g. std::cout).
+  explicit CsvWriter(std::ostream& out) : out_{&out} {}
+
+  // Writes to a file; throws std::runtime_error if the file cannot be opened.
+  explicit CsvWriter(const std::string& path);
+
+  // Emits the header row. Must be called before the first row (enforced).
+  template <typename... Cols>
+  void header(Cols&&... cols) {
+    INBAND_ASSERT(!header_written_, "header() called twice");
+    write_row(std::forward<Cols>(cols)...);
+    header_written_ = true;
+  }
+
+  template <typename... Vals>
+  void row(Vals&&... vals) {
+    INBAND_ASSERT(header_written_, "row() before header()");
+    write_row(std::forward<Vals>(vals)...);
+    ++rows_;
+  }
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  template <typename... Vals>
+  void write_row(Vals&&... vals) {
+    bool first = true;
+    ((write_field(first, std::forward<Vals>(vals)), first = false), ...);
+    *out_ << '\n';
+  }
+
+  template <typename T>
+  void write_field(bool first, const T& v) {
+    if (!first) *out_ << ',';
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      write_string(std::string_view{v});
+    } else if constexpr (std::is_floating_point_v<T>) {
+      write_double(static_cast<double>(v));
+    } else {
+      *out_ << v;
+    }
+  }
+
+  void write_string(std::string_view s);
+  void write_double(double v);
+
+  std::ofstream file_;
+  std::ostream* out_;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace inband

@@ -1,0 +1,145 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace inband {
+
+namespace {
+
+const char* type_name(const std::variant<bool*, std::int64_t*, double*,
+                                         std::string*>& t) {
+  switch (t.index()) {
+    case 0:
+      return "bool";
+    case 1:
+      return "int";
+    case 2:
+      return "float";
+    default:
+      return "string";
+  }
+}
+
+}  // namespace
+
+void FlagSet::add(std::string name, bool* target, std::string help) {
+  INBAND_ASSERT(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({std::move(name), target, std::move(help)});
+}
+void FlagSet::add(std::string name, std::int64_t* target, std::string help) {
+  INBAND_ASSERT(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({std::move(name), target, std::move(help)});
+}
+void FlagSet::add(std::string name, double* target, std::string help) {
+  INBAND_ASSERT(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({std::move(name), target, std::move(help)});
+}
+void FlagSet::add(std::string name, std::string* target, std::string help) {
+  INBAND_ASSERT(find(name) == nullptr, "duplicate flag");
+  flags_.push_back({std::move(name), target, std::move(help)});
+}
+
+const FlagSet::Flag* FlagSet::find(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool FlagSet::assign(const Flag& flag, const std::string& value) {
+  try {
+    switch (flag.target.index()) {
+      case 0: {
+        if (value == "true" || value == "1") {
+          *std::get<bool*>(flag.target) = true;
+        } else if (value == "false" || value == "0") {
+          *std::get<bool*>(flag.target) = false;
+        } else {
+          return false;
+        }
+        return true;
+      }
+      case 1: {
+        std::size_t pos = 0;
+        const long long v = std::stoll(value, &pos);
+        if (pos != value.size()) return false;
+        *std::get<std::int64_t*>(flag.target) = v;
+        return true;
+      }
+      case 2: {
+        std::size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size()) return false;
+        *std::get<double*>(flag.target) = v;
+        return true;
+      }
+      default:
+        *std::get<std::string*>(flag.target) = value;
+        return true;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg{argv[i]};
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    arg.erase(0, 2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.erase(eq);
+      have_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", arg.c_str(),
+                   usage(argv[0]).c_str());
+      return false;
+    }
+    if (!have_value) {
+      if (flag->target.index() == 0) {
+        value = "true";  // bare --flag for booleans
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag --%s requires a value\n", arg.c_str());
+        return false;
+      }
+    }
+    if (!assign(*flag, value)) {
+      std::fprintf(stderr, "bad value for --%s (%s): '%s'\n", arg.c_str(),
+                   type_name(flag->target), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::usage(const std::string& argv0) const {
+  std::ostringstream os;
+  if (!description_.empty()) os << description_ << '\n';
+  os << "usage: " << argv0 << " [--flag=value ...]\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << " (" << type_name(f.target) << ")  " << f.help
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace inband

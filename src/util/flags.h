@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for the examples and bench drivers.
+//
+// Flags are registered against variables owned by the caller and parsed from
+// `--name=value` or `--name value` arguments (`--flag` alone sets a bool).
+// Unknown flags are an error: experiment drivers should fail loudly rather
+// than silently ignore a typo'd parameter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace inband {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_description = {})
+      : description_{std::move(program_description)} {}
+
+  void add(std::string name, bool* target, std::string help);
+  void add(std::string name, std::int64_t* target, std::string help);
+  void add(std::string name, double* target, std::string help);
+  void add(std::string name, std::string* target, std::string help);
+
+  // Parses argv (excluding argv[0]). Returns false and prints usage on error
+  // or when --help is present. Registered targets keep their prior values for
+  // flags not mentioned, so callers pre-load defaults into the variables.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage(const std::string& argv0) const;
+
+ private:
+  using Target = std::variant<bool*, std::int64_t*, double*, std::string*>;
+  struct Flag {
+    std::string name;
+    Target target;
+    std::string help;
+  };
+
+  const Flag* find(const std::string& name) const;
+  static bool assign(const Flag& flag, const std::string& value);
+
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace inband

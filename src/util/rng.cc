@@ -1,0 +1,118 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace inband {
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  INBAND_ASSERT(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~0ULL) return (*this)();
+  const std::uint64_t n = span + 1;
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (low < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  INBAND_ASSERT(mean > 0.0);
+  double u;
+  do {
+    u = uniform_double();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform_double();
+  } while (u1 == 0.0);
+  const double u2 = uniform_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  INBAND_ASSERT(median > 0.0);
+  INBAND_ASSERT(sigma >= 0.0);
+  return median * std::exp(sigma * normal());
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  INBAND_ASSERT(x_m > 0.0);
+  INBAND_ASSERT(alpha > 0.0);
+  double u;
+  do {
+    u = uniform_double();
+  } while (u == 0.0);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+namespace {
+
+// Helper used by rejection-inversion: H(x) integrates x^{-s}.
+double h_integral(double x, double s) {
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s) < 1e-12) return log_x;
+  return std::expm1((1.0 - s) * log_x) / (1.0 - s);
+}
+
+double h_integral_inv(double x, double s) {
+  if (std::abs(1.0 - s) < 1e-12) return std::exp(x);
+  double t = x * (1.0 - s);
+  if (t < -1.0) t = -1.0;  // numeric guard
+  return std::exp(std::log1p(t) / (1.0 - s));
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double s) : n_{n}, s_{s} {
+  INBAND_ASSERT(n >= 1);
+  INBAND_ASSERT(s >= 0.0);
+  h_x1_ = h_integral(1.5, s_) - 1.0;
+  h_n_ = h_integral(static_cast<double>(n_) + 0.5, s_);
+  threshold_ = 2.0 - h_integral_inv(h_integral(2.5, s_) - std::pow(2.0, -s_),
+                                    s_);
+}
+
+double ZipfDistribution::h(double x) const { return h_integral(x, s_); }
+double ZipfDistribution::h_inv(double x) const {
+  return h_integral_inv(x, s_);
+}
+
+std::uint64_t ZipfDistribution::operator()(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    const double u = h_n_ + rng.uniform_double() * (h_x1_ - h_n_);
+    const double x = h_inv(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= h(kd + 0.5) - std::exp(-s_ * std::log(kd))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace inband

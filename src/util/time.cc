@@ -1,0 +1,42 @@
+#include "util/time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace inband {
+
+namespace {
+
+// Prints `v` with up to three significant decimals, trimming trailing zeros.
+std::string trim_fixed(double v, const char* unit) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  std::string s{buf};
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  s += unit;
+  return s;
+}
+
+}  // namespace
+
+std::string format_duration(SimTime t) {
+  const bool neg = t < 0;
+  const auto a = neg ? -t : t;
+  std::string out;
+  if (a < 1'000) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", a);
+    out = buf;
+  } else if (a < 1'000'000) {
+    out = trim_fixed(static_cast<double>(a) / 1e3, "us");
+  } else if (a < 1'000'000'000) {
+    out = trim_fixed(static_cast<double>(a) / 1e6, "ms");
+  } else {
+    out = trim_fixed(static_cast<double>(a) / 1e9, "s");
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace inband

@@ -1,0 +1,50 @@
+// Simulation time.
+//
+// All simulation timestamps and durations are signed 64-bit nanosecond
+// counts. Nothing on the dataplane uses floating-point time; conversions to
+// seconds happen only when formatting output. A signed representation keeps
+// subtraction (the single most common operation on timestamps) safe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace inband {
+
+// A point in simulated time, or a duration, in nanoseconds.
+using SimTime = std::int64_t;
+
+// Sentinel for "no timestamp recorded yet".
+inline constexpr SimTime kNoTime = -1;
+
+constexpr SimTime ns(std::int64_t v) { return v; }
+constexpr SimTime us(std::int64_t v) { return v * 1'000; }
+constexpr SimTime ms(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime sec(std::int64_t v) { return v * 1'000'000'000; }
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+namespace time_literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return us(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return ms(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return sec(static_cast<std::int64_t>(v));
+}
+
+}  // namespace time_literals
+
+// Renders a duration with an auto-selected unit, e.g. "1.234ms", "64us",
+// "2.5s". Intended for logs and reports, not for machine parsing.
+std::string format_duration(SimTime t);
+
+}  // namespace inband

@@ -1,0 +1,378 @@
+// Unit tests: net module (addressing, flow keys, links, network fabric,
+// trace recording).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+
+#include "net/network.h"
+#include "net/trace.h"
+#include "sim/simulator.h"
+
+namespace inband {
+namespace {
+
+TEST(Address, FormatIpv4) {
+  EXPECT_EQ(format_ipv4(make_ipv4(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(format_ipv4(make_ipv4(255, 255, 255, 255)), "255.255.255.255");
+}
+
+TEST(Address, FormatEndpoint) {
+  EXPECT_EQ(format_endpoint({make_ipv4(1, 2, 3, 4), 80}), "1.2.3.4:80");
+}
+
+TEST(FlowKey, EqualityAndReversal) {
+  const FlowKey f{{make_ipv4(10, 0, 0, 1), 1111},
+                  {make_ipv4(10, 1, 0, 1), 80},
+                  IpProto::kTcp};
+  EXPECT_EQ(f, f);
+  const FlowKey r = f.reversed();
+  EXPECT_EQ(r.src, f.dst);
+  EXPECT_EQ(r.dst, f.src);
+  EXPECT_EQ(r.reversed(), f);
+  EXPECT_NE(hash_flow(f), hash_flow(r));
+}
+
+TEST(FlowKey, HashSensitiveToEveryField) {
+  const FlowKey base{{1, 1}, {2, 2}, IpProto::kTcp};
+  FlowKey m = base;
+  m.src.port = 3;
+  EXPECT_NE(hash_flow(base), hash_flow(m));
+  m = base;
+  m.dst.addr = 9;
+  EXPECT_NE(hash_flow(base), hash_flow(m));
+  m = base;
+  m.proto = IpProto::kUdp;
+  EXPECT_NE(hash_flow(base), hash_flow(m));
+}
+
+TEST(FlowKey, SeedChangesHash) {
+  const FlowKey f{{1, 1}, {2, 2}, IpProto::kTcp};
+  EXPECT_NE(hash_flow(f, 1), hash_flow(f, 2));
+}
+
+TEST(FlowKey, HashSpreads) {
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::uint16_t p = 0; p < 1000; ++p) {
+    hashes.insert(hash_flow({{1, p}, {2, 80}, IpProto::kTcp}));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on this easy set
+}
+
+TEST(Packet, FlagsAndSizes) {
+  Packet p;
+  p.flags = tcpflag::kSyn | tcpflag::kAck;
+  EXPECT_TRUE(p.has(tcpflag::kSyn));
+  EXPECT_TRUE(p.has(tcpflag::kAck));
+  EXPECT_FALSE(p.has(tcpflag::kFin));
+  p.payload_len = 100;
+  EXPECT_EQ(p.wire_size(), 152u);
+  EXPECT_EQ(p.seq_len(), 101u);  // SYN consumes one
+  p.flags |= tcpflag::kFin;
+  EXPECT_EQ(p.seq_len(), 102u);
+}
+
+TEST(Packet, Format) {
+  Packet p;
+  p.flow = {{make_ipv4(10, 0, 0, 1), 5}, {make_ipv4(10, 1, 0, 1), 80},
+            IpProto::kTcp};
+  p.flags = tcpflag::kSyn;
+  const auto s = format_packet(p);
+  EXPECT_NE(s.find("10.0.0.1:5"), std::string::npos);
+  EXPECT_NE(s.find("[S]"), std::string::npos);
+}
+
+class CollectingSink : public PacketSink {
+ public:
+  void handle_packet(Packet pkt) override { packets.push_back(std::move(pkt)); }
+  std::vector<Packet> packets;
+};
+
+TEST(Link, SerializationDelayScalesWithSize) {
+  Simulator sim;
+  // 1 Gb/s: 1000 bytes = 8000 ns.
+  Link link{sim, {1'000'000'000, 0, 0}};
+  EXPECT_EQ(link.serialization_delay(1000), 8000);
+  EXPECT_EQ(link.serialization_delay(1), 8);
+}
+
+TEST(Link, DeliveryTimeIncludesPropAndSerialization) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, us(10), 0}};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 948;  // wire = 1000 bytes -> 8us serialization
+  ASSERT_TRUE(link.transmit(p, sink));
+  sim.run();
+  ASSERT_EQ(sink.packets.size(), 1u);
+  EXPECT_EQ(sim.now(), us(18));
+}
+
+TEST(Link, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, 0, 0}};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 948;  // 8us each
+  link.transmit(p, sink);
+  link.transmit(p, sink);
+  sim.run();
+  EXPECT_EQ(sim.now(), us(16));  // second waits for the first
+  EXPECT_EQ(sink.packets.size(), 2u);
+}
+
+TEST(Link, ExtraDelayAppliesToSubsequentPackets) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, 0, 0}};
+  CollectingSink sink;
+  link.set_extra_delay(ms(1));
+  Packet p;
+  p.payload_len = 948;
+  link.transmit(p, sink);
+  sim.run();
+  EXPECT_EQ(sim.now(), ms(1) + us(8));
+}
+
+TEST(Link, QueueOverflowDrops) {
+  Simulator sim;
+  // Queue of 2000 bytes at 1 Gb/s = 16us of backlog allowed.
+  Link link{sim, {1'000'000'000, 0, 2000}};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 948;  // 8us serialization each
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (link.transmit(p, sink)) ++accepted;
+  }
+  EXPECT_LT(accepted, 10);
+  EXPECT_EQ(link.drops(), 10u - static_cast<unsigned>(accepted));
+  sim.run();
+  EXPECT_EQ(sink.packets.size(), static_cast<std::size_t>(accepted));
+}
+
+TEST(Link, StatsCount) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, 0, 0}};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 100;
+  link.transmit(p, sink);
+  EXPECT_EQ(link.tx_packets(), 1u);
+  EXPECT_EQ(link.tx_bytes(), p.wire_size());
+}
+
+class EchoHost : public Host {
+ public:
+  using Host::Host;
+  void handle_packet(Packet pkt) override {
+    received.push_back(pkt);
+  }
+  std::vector<Packet> received;
+};
+
+TEST(Network, RoutesByDeliveryAddress) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, make_ipv4(10, 0, 0, 1), "a"};
+  EchoHost b{sim, net, make_ipv4(10, 0, 0, 2), "b"};
+  net.add_duplex_link(a.addr(), b.addr(), {1'000'000'000, us(5), 0});
+  Packet p;
+  p.flow = {{a.addr(), 1}, {b.addr(), 2}, IpProto::kTcp};
+  a.send(p);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_GT(b.received[0].pkt_id, 0u);
+  EXPECT_EQ(b.received[0].sent_at, 0);
+}
+
+TEST(Network, SendToOverridesFlowDestination) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, make_ipv4(10, 0, 0, 1), "a"};
+  EchoHost b{sim, net, make_ipv4(10, 0, 0, 2), "b"};
+  EchoHost c{sim, net, make_ipv4(10, 0, 0, 3), "c"};
+  net.add_link(a.addr(), c.addr(), {1'000'000'000, us(5), 0});
+  Packet p;
+  // Flow says "to b", but we deliver to c — the LB forwarding pattern.
+  p.flow = {{a.addr(), 1}, {b.addr(), 2}, IpProto::kTcp};
+  a.send_to(c.addr(), p);
+  sim.run();
+  EXPECT_EQ(b.received.size(), 0u);
+  ASSERT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(c.received[0].flow.dst.addr, b.addr());
+}
+
+TEST(Network, PacketIdsAreUniqueAndIncreasing) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, {1'000'000'000, 0, 0});
+  Packet p;
+  p.flow = {{1, 1}, {2, 2}, IpProto::kTcp};
+  a.send(p);
+  a.send(p);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_LT(b.received[0].pkt_id, b.received[1].pkt_id);
+}
+
+TEST(Network, DropCounting) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, {1'000'000'000, 0, 100});  // tiny queue
+  Packet p;
+  p.payload_len = 1400;
+  p.flow = {{1, 1}, {2, 2}, IpProto::kTcp};
+  for (int i = 0; i < 20; ++i) a.send(p);
+  EXPECT_GT(net.packets_dropped(), 0u);
+  EXPECT_EQ(net.packets_sent(), 20u);
+}
+
+TEST(Network, HasLink) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, {});
+  EXPECT_TRUE(net.has_link(1, 2));
+  EXPECT_FALSE(net.has_link(2, 1));
+}
+
+TEST(Trace, RecordsAndFilters) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};
+  EchoHost c{sim, net, 3, "c"};
+  net.add_link(1, 2, {});
+  net.add_link(2, 3, {});
+  TraceRecorder trace{net, /*vantage=*/2};
+  Packet p;
+  p.flow = {{1, 5}, {2, 6}, IpProto::kTcp};
+  a.send(p);  // 1 -> 2 : vantage sees (arriving at 2)
+  sim.run();
+  Packet q;
+  q.flow = {{2, 6}, {3, 7}, IpProto::kTcp};
+  b.send(q);  // 2 -> 3 : vantage sees (departing 2)
+  sim.run();
+  EXPECT_EQ(trace.rows().size(), 2u);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, {1'000'000'000, us(3), 0});
+  TraceRecorder trace{net};
+  Packet p;
+  p.flow = {{1, 1000}, {2, 80}, IpProto::kTcp};
+  p.seq = 42;
+  p.flags = tcpflag::kSyn;
+  a.send(p);
+  sim.run();
+
+  const std::string path = testing::TempDir() + "/trace_roundtrip.csv";
+  trace.save_csv(path);
+  const auto rows = TraceRecorder::load_csv(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].flow, p.flow);
+  EXPECT_EQ(rows[0].seq, 42u);
+  EXPECT_EQ(rows[0].flags, tcpflag::kSyn);
+  EXPECT_EQ(rows[0].hop_from, 1u);
+  EXPECT_EQ(rows[0].hop_to, 2u);
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/trace_bad.csv";
+  {
+    std::ofstream f{path};
+    f << "header\nnot,a,valid,row\n";
+  }
+  EXPECT_THROW(TraceRecorder::load_csv(path), std::runtime_error);
+}
+
+
+// --- link jitter ---
+
+TEST(LinkJitter, AddsDelayButKeepsFifoOrder) {
+  Simulator sim;
+  LinkParams params{1'000'000'000, us(10), 0, us(20), 1.5, 99};
+  Link link{sim, params};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 100;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    p.seq = i;  // transmit order marker (no Network to stamp pkt_id)
+    link.transmit(p, sink);
+  }
+  while (sim.step()) {
+  }
+  ASSERT_EQ(sink.packets.size(), 200u);
+  // Despite jitter, deliveries must preserve transmit (FIFO) order.
+  for (std::size_t i = 1; i < sink.packets.size(); ++i) {
+    EXPECT_LT(sink.packets[i - 1].seq, sink.packets[i].seq);
+  }
+}
+
+TEST(LinkJitter, DelayStatistics) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, us(10), 0, us(20), 1.0, 5}};
+  CollectingSink sink;
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 200; ++i) {
+    sim.run_until(i * ms(1));
+    Packet p;
+    p.payload_len = 948;  // base delay = 18us
+    link.transmit(p, sink);
+    sim.run();  // drain: single delivery event
+    deliveries.push_back(sim.now() - i * ms(1));
+  }
+  SimTime min_d = deliveries[0];
+  SimTime max_d = deliveries[0];
+  for (SimTime d : deliveries) {
+    EXPECT_GE(d, us(18));  // never faster than base
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  EXPECT_GT(max_d, min_d + us(10));  // jitter is real
+  // Median extra delay is in the ballpark of the configured median.
+  std::sort(deliveries.begin(), deliveries.end());
+  const SimTime median_extra = deliveries[deliveries.size() / 2] - us(18);
+  EXPECT_GT(median_extra, us(10));
+  EXPECT_LT(median_extra, us(40));
+}
+
+TEST(LinkJitter, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    Link link{sim, {1'000'000'000, us(10), 0, us(20), 1.2, seed}};
+    CollectingSink sink;
+    Packet p;
+    p.payload_len = 50;
+    std::vector<SimTime> times;
+    for (int i = 0; i < 50; ++i) link.transmit(p, sink);
+    while (!sim.stopped() && sim.step()) times.push_back(sim.now());
+    return times;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(LinkJitter, ZeroJitterIsExact) {
+  Simulator sim;
+  Link link{sim, {1'000'000'000, us(10), 0, 0, 0.0, 1}};
+  CollectingSink sink;
+  Packet p;
+  p.payload_len = 948;  // 8us serialization
+  link.transmit(p, sink);
+  sim.run();
+  EXPECT_EQ(sim.now(), us(18));
+}
+
+}  // namespace
+}  // namespace inband

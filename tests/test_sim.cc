@@ -1,0 +1,219 @@
+// Unit tests: discrete-event simulator (queue ordering, cancellation,
+// periodic tasks, run_until semantics).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "util/time.h"
+
+namespace inband {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5, [&, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.push(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  q.push(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(us(100), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, us(100));
+  EXPECT_EQ(sim.now(), us(100));
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule_after(us(10), [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(us(10), [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{us(10), us(20)}));
+}
+
+TEST(Simulator, ZeroDelayRunsAfterCurrentHandler) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(0, [&] {
+    sim.schedule_after(0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilExecutesInclusiveDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(us(10), [&] { ++count; });
+  sim.schedule_at(us(20), [&] { ++count; });
+  sim.schedule_at(us(21), [&] { ++count; });
+  sim.run_until(us(20));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), us(20));
+  sim.run_until(us(30));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), us(30));
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(ms(5));
+  EXPECT_EQ(sim.now(), ms(5));
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(us(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, ExecutedEventsCounted) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task{sim, ms(10), [&](SimTime t) { fires.push_back(t); }};
+  task.start(ms(10));
+  sim.run_until(ms(35));
+  EXPECT_EQ(fires, (std::vector<SimTime>{ms(10), ms(20), ms(30)}));
+}
+
+TEST(PeriodicTask, CancelStopsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task{sim, ms(1), [&](SimTime) { ++count; }};
+  task.start(ms(1));
+  sim.schedule_at(ms(3) + 1, [&] { task.cancel(); });
+  sim.run_until(ms(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTask, CallbackMayCancelItself) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task{sim, ms(1), [&](SimTime) {
+                      if (++count == 2) task.cancel();
+                    }};
+  task.start(0);
+  sim.run_until(ms(10));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, DestructionCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task{sim, ms(1), [&](SimTime) { ++count; }};
+    task.start(ms(1));
+  }
+  sim.run_until(ms(5));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Simulator, HandlersCanScheduleManyLayers) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+}  // namespace
+}  // namespace inband
