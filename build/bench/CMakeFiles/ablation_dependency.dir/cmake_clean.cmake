@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dependency.dir/ablation_dependency.cc.o"
+  "CMakeFiles/ablation_dependency.dir/ablation_dependency.cc.o.d"
+  "ablation_dependency"
+  "ablation_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

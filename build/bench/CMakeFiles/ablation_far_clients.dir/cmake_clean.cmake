@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_far_clients.dir/ablation_far_clients.cc.o"
+  "CMakeFiles/ablation_far_clients.dir/ablation_far_clients.cc.o.d"
+  "ablation_far_clients"
+  "ablation_far_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_far_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

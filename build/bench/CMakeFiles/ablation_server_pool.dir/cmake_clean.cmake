@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_server_pool.dir/ablation_server_pool.cc.o"
+  "CMakeFiles/ablation_server_pool.dir/ablation_server_pool.cc.o.d"
+  "ablation_server_pool"
+  "ablation_server_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_server_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

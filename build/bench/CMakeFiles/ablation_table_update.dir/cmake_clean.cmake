@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_table_update.dir/ablation_table_update.cc.o"
+  "CMakeFiles/ablation_table_update.dir/ablation_table_update.cc.o.d"
+  "ablation_table_update"
+  "ablation_table_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_table_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

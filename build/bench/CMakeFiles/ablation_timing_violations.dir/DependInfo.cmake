@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_timing_violations.cc" "bench/CMakeFiles/ablation_timing_violations.dir/ablation_timing_violations.cc.o" "gcc" "bench/CMakeFiles/ablation_timing_violations.dir/ablation_timing_violations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timing_violations.dir/ablation_timing_violations.cc.o"
+  "CMakeFiles/ablation_timing_violations.dir/ablation_timing_violations.cc.o.d"
+  "ablation_timing_violations"
+  "ablation_timing_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timing_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

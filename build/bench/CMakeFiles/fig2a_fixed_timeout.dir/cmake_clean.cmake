@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_fixed_timeout.dir/fig2a_fixed_timeout.cc.o"
+  "CMakeFiles/fig2a_fixed_timeout.dir/fig2a_fixed_timeout.cc.o.d"
+  "fig2a_fixed_timeout"
+  "fig2a_fixed_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_fixed_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

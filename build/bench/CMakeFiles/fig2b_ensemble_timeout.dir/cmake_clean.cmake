@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_ensemble_timeout.dir/fig2b_ensemble_timeout.cc.o"
+  "CMakeFiles/fig2b_ensemble_timeout.dir/fig2b_ensemble_timeout.cc.o.d"
+  "fig2b_ensemble_timeout"
+  "fig2b_ensemble_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_ensemble_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

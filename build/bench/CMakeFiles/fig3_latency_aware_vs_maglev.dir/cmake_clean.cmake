@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_latency_aware_vs_maglev.dir/fig3_latency_aware_vs_maglev.cc.o"
+  "CMakeFiles/fig3_latency_aware_vs_maglev.dir/fig3_latency_aware_vs_maglev.cc.o.d"
+  "fig3_latency_aware_vs_maglev"
+  "fig3_latency_aware_vs_maglev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_aware_vs_maglev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

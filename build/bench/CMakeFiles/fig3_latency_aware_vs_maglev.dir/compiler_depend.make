@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_latency_aware_vs_maglev.
+# This may be replaced when dependencies are built.

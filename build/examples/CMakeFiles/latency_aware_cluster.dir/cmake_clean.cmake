@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_aware_cluster.dir/latency_aware_cluster.cc.o"
+  "CMakeFiles/latency_aware_cluster.dir/latency_aware_cluster.cc.o.d"
+  "latency_aware_cluster"
+  "latency_aware_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_aware_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/bulk_flow.cc" "src/CMakeFiles/inband_app.dir/app/bulk_flow.cc.o" "gcc" "src/CMakeFiles/inband_app.dir/app/bulk_flow.cc.o.d"
+  "/root/repo/src/app/kv_client.cc" "src/CMakeFiles/inband_app.dir/app/kv_client.cc.o" "gcc" "src/CMakeFiles/inband_app.dir/app/kv_client.cc.o.d"
+  "/root/repo/src/app/kv_server.cc" "src/CMakeFiles/inband_app.dir/app/kv_server.cc.o" "gcc" "src/CMakeFiles/inband_app.dir/app/kv_server.cc.o.d"
+  "/root/repo/src/app/message.cc" "src/CMakeFiles/inband_app.dir/app/message.cc.o" "gcc" "src/CMakeFiles/inband_app.dir/app/message.cc.o.d"
+  "/root/repo/src/app/variability.cc" "src/CMakeFiles/inband_app.dir/app/variability.cc.o" "gcc" "src/CMakeFiles/inband_app.dir/app/variability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

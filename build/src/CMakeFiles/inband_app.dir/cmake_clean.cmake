@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_app.dir/app/bulk_flow.cc.o"
+  "CMakeFiles/inband_app.dir/app/bulk_flow.cc.o.d"
+  "CMakeFiles/inband_app.dir/app/kv_client.cc.o"
+  "CMakeFiles/inband_app.dir/app/kv_client.cc.o.d"
+  "CMakeFiles/inband_app.dir/app/kv_server.cc.o"
+  "CMakeFiles/inband_app.dir/app/kv_server.cc.o.d"
+  "CMakeFiles/inband_app.dir/app/message.cc.o"
+  "CMakeFiles/inband_app.dir/app/message.cc.o.d"
+  "CMakeFiles/inband_app.dir/app/variability.cc.o"
+  "CMakeFiles/inband_app.dir/app/variability.cc.o.d"
+  "libinband_app.a"
+  "libinband_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_shift_controller.cc" "src/CMakeFiles/inband_core.dir/core/alpha_shift_controller.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/alpha_shift_controller.cc.o.d"
+  "/root/repo/src/core/ensemble_timeout.cc" "src/CMakeFiles/inband_core.dir/core/ensemble_timeout.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/ensemble_timeout.cc.o.d"
+  "/root/repo/src/core/fixed_timeout.cc" "src/CMakeFiles/inband_core.dir/core/fixed_timeout.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/fixed_timeout.cc.o.d"
+  "/root/repo/src/core/flow_state_table.cc" "src/CMakeFiles/inband_core.dir/core/flow_state_table.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/flow_state_table.cc.o.d"
+  "/root/repo/src/core/handshake_rtt.cc" "src/CMakeFiles/inband_core.dir/core/handshake_rtt.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/handshake_rtt.cc.o.d"
+  "/root/repo/src/core/inband_lb_policy.cc" "src/CMakeFiles/inband_core.dir/core/inband_lb_policy.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/inband_lb_policy.cc.o.d"
+  "/root/repo/src/core/server_latency_tracker.cc" "src/CMakeFiles/inband_core.dir/core/server_latency_tracker.cc.o" "gcc" "src/CMakeFiles/inband_core.dir/core/server_latency_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

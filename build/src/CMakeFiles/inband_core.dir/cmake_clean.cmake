@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_core.dir/core/alpha_shift_controller.cc.o"
+  "CMakeFiles/inband_core.dir/core/alpha_shift_controller.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/ensemble_timeout.cc.o"
+  "CMakeFiles/inband_core.dir/core/ensemble_timeout.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/fixed_timeout.cc.o"
+  "CMakeFiles/inband_core.dir/core/fixed_timeout.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/flow_state_table.cc.o"
+  "CMakeFiles/inband_core.dir/core/flow_state_table.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/handshake_rtt.cc.o"
+  "CMakeFiles/inband_core.dir/core/handshake_rtt.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/inband_lb_policy.cc.o"
+  "CMakeFiles/inband_core.dir/core/inband_lb_policy.cc.o.d"
+  "CMakeFiles/inband_core.dir/core/server_latency_tracker.cc.o"
+  "CMakeFiles/inband_core.dir/core/server_latency_tracker.cc.o.d"
+  "libinband_core.a"
+  "libinband_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

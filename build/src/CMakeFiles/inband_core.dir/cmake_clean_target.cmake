@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinband_core.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/conntrack.cc" "src/CMakeFiles/inband_lb.dir/lb/conntrack.cc.o" "gcc" "src/CMakeFiles/inband_lb.dir/lb/conntrack.cc.o.d"
+  "/root/repo/src/lb/load_balancer.cc" "src/CMakeFiles/inband_lb.dir/lb/load_balancer.cc.o" "gcc" "src/CMakeFiles/inband_lb.dir/lb/load_balancer.cc.o.d"
+  "/root/repo/src/lb/maglev.cc" "src/CMakeFiles/inband_lb.dir/lb/maglev.cc.o" "gcc" "src/CMakeFiles/inband_lb.dir/lb/maglev.cc.o.d"
+  "/root/repo/src/lb/policies.cc" "src/CMakeFiles/inband_lb.dir/lb/policies.cc.o" "gcc" "src/CMakeFiles/inband_lb.dir/lb/policies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

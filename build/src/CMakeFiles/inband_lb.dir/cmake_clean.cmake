@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_lb.dir/lb/conntrack.cc.o"
+  "CMakeFiles/inband_lb.dir/lb/conntrack.cc.o.d"
+  "CMakeFiles/inband_lb.dir/lb/load_balancer.cc.o"
+  "CMakeFiles/inband_lb.dir/lb/load_balancer.cc.o.d"
+  "CMakeFiles/inband_lb.dir/lb/maglev.cc.o"
+  "CMakeFiles/inband_lb.dir/lb/maglev.cc.o.d"
+  "CMakeFiles/inband_lb.dir/lb/policies.cc.o"
+  "CMakeFiles/inband_lb.dir/lb/policies.cc.o.d"
+  "libinband_lb.a"
+  "libinband_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_net.dir/net/address.cc.o"
+  "CMakeFiles/inband_net.dir/net/address.cc.o.d"
+  "CMakeFiles/inband_net.dir/net/link.cc.o"
+  "CMakeFiles/inband_net.dir/net/link.cc.o.d"
+  "CMakeFiles/inband_net.dir/net/network.cc.o"
+  "CMakeFiles/inband_net.dir/net/network.cc.o.d"
+  "CMakeFiles/inband_net.dir/net/packet.cc.o"
+  "CMakeFiles/inband_net.dir/net/packet.cc.o.d"
+  "CMakeFiles/inband_net.dir/net/trace.cc.o"
+  "CMakeFiles/inband_net.dir/net/trace.cc.o.d"
+  "libinband_net.a"
+  "libinband_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

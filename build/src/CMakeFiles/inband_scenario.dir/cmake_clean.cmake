@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_scenario.dir/scenario/backlogged_rig.cc.o"
+  "CMakeFiles/inband_scenario.dir/scenario/backlogged_rig.cc.o.d"
+  "CMakeFiles/inband_scenario.dir/scenario/cluster_rig.cc.o"
+  "CMakeFiles/inband_scenario.dir/scenario/cluster_rig.cc.o.d"
+  "CMakeFiles/inband_scenario.dir/scenario/metrics.cc.o"
+  "CMakeFiles/inband_scenario.dir/scenario/metrics.cc.o.d"
+  "libinband_scenario.a"
+  "libinband_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

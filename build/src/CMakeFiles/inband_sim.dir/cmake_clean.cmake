@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/inband_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/inband_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/inband_sim.dir/sim/simulator.cc.o.d"
+  "libinband_sim.a"
+  "libinband_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/connection.cc" "src/CMakeFiles/inband_tcp.dir/tcp/connection.cc.o" "gcc" "src/CMakeFiles/inband_tcp.dir/tcp/connection.cc.o.d"
+  "/root/repo/src/tcp/recv_buffer.cc" "src/CMakeFiles/inband_tcp.dir/tcp/recv_buffer.cc.o" "gcc" "src/CMakeFiles/inband_tcp.dir/tcp/recv_buffer.cc.o.d"
+  "/root/repo/src/tcp/send_buffer.cc" "src/CMakeFiles/inband_tcp.dir/tcp/send_buffer.cc.o" "gcc" "src/CMakeFiles/inband_tcp.dir/tcp/send_buffer.cc.o.d"
+  "/root/repo/src/tcp/stack.cc" "src/CMakeFiles/inband_tcp.dir/tcp/stack.cc.o" "gcc" "src/CMakeFiles/inband_tcp.dir/tcp/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_tcp.dir/tcp/connection.cc.o"
+  "CMakeFiles/inband_tcp.dir/tcp/connection.cc.o.d"
+  "CMakeFiles/inband_tcp.dir/tcp/recv_buffer.cc.o"
+  "CMakeFiles/inband_tcp.dir/tcp/recv_buffer.cc.o.d"
+  "CMakeFiles/inband_tcp.dir/tcp/send_buffer.cc.o"
+  "CMakeFiles/inband_tcp.dir/tcp/send_buffer.cc.o.d"
+  "CMakeFiles/inband_tcp.dir/tcp/stack.cc.o"
+  "CMakeFiles/inband_tcp.dir/tcp/stack.cc.o.d"
+  "libinband_tcp.a"
+  "libinband_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

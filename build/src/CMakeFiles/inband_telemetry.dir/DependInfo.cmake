@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/counters.cc" "src/CMakeFiles/inband_telemetry.dir/telemetry/counters.cc.o" "gcc" "src/CMakeFiles/inband_telemetry.dir/telemetry/counters.cc.o.d"
+  "/root/repo/src/telemetry/histogram.cc" "src/CMakeFiles/inband_telemetry.dir/telemetry/histogram.cc.o" "gcc" "src/CMakeFiles/inband_telemetry.dir/telemetry/histogram.cc.o.d"
+  "/root/repo/src/telemetry/sliding_window.cc" "src/CMakeFiles/inband_telemetry.dir/telemetry/sliding_window.cc.o" "gcc" "src/CMakeFiles/inband_telemetry.dir/telemetry/sliding_window.cc.o.d"
+  "/root/repo/src/telemetry/time_series.cc" "src/CMakeFiles/inband_telemetry.dir/telemetry/time_series.cc.o" "gcc" "src/CMakeFiles/inband_telemetry.dir/telemetry/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/inband_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_telemetry.dir/telemetry/counters.cc.o"
+  "CMakeFiles/inband_telemetry.dir/telemetry/counters.cc.o.d"
+  "CMakeFiles/inband_telemetry.dir/telemetry/histogram.cc.o"
+  "CMakeFiles/inband_telemetry.dir/telemetry/histogram.cc.o.d"
+  "CMakeFiles/inband_telemetry.dir/telemetry/sliding_window.cc.o"
+  "CMakeFiles/inband_telemetry.dir/telemetry/sliding_window.cc.o.d"
+  "CMakeFiles/inband_telemetry.dir/telemetry/time_series.cc.o"
+  "CMakeFiles/inband_telemetry.dir/telemetry/time_series.cc.o.d"
+  "libinband_telemetry.a"
+  "libinband_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

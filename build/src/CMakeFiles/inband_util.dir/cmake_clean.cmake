@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inband_util.dir/util/csv.cc.o"
+  "CMakeFiles/inband_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/inband_util.dir/util/flags.cc.o"
+  "CMakeFiles/inband_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/inband_util.dir/util/logging.cc.o"
+  "CMakeFiles/inband_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/inband_util.dir/util/rng.cc.o"
+  "CMakeFiles/inband_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/inband_util.dir/util/time.cc.o"
+  "CMakeFiles/inband_util.dir/util/time.cc.o.d"
+  "libinband_util.a"
+  "libinband_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inband_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
