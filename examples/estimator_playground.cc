@@ -1,8 +1,8 @@
 // Estimator playground: feed a synthetic batched arrival pattern through
 // Algorithm 1 and Algorithm 2 and watch what they report.
 //
-//   $ ./estimator_playground --rtt_us=500 --batch=4 --intra_us=10 \
-//         --batches=2000 --fixed_delta_us=64
+//   $ ./estimator_playground --rtt_us=500 --batch=4 --intra_us=10
+//         [--batches=2000 --fixed_delta_us=64]
 //
 // Emits one CSV row per estimator sample; stderr carries a summary. Useful
 // for building intuition about why a fixed timeout fails and where the

@@ -1,7 +1,7 @@
 // Configurable cluster demo: compare any routing policy on the Fig. 3 rig.
 //
-//   $ ./latency_aware_cluster --mode=inband --servers=4 --duration_s=6 \
-//         --inject_ms=1 --alpha=0.1
+//   $ ./latency_aware_cluster --mode=inband --servers=4 --duration_s=6
+//         [--inject_ms=1 --alpha=0.1]
 //
 // Prints a p95-per-interval latency series (CSV to stdout) followed by a
 // per-server and controller summary.

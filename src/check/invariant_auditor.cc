@@ -1,0 +1,74 @@
+#include "check/invariant_auditor.h"
+
+#include <cstdio>
+
+#include "util/assert.h"
+
+namespace inband {
+
+bool AuditScope::check(bool ok, std::string_view invariant,
+                       std::string detail) {
+  if (!ok) [[unlikely]] {
+    auditor_.report(module_, invariant, std::move(detail), now_);
+  }
+  return ok;
+}
+
+void InvariantAuditor::register_hook(std::string module, Hook hook) {
+  INBAND_ASSERT(hook != nullptr);
+  for (const auto& h : hooks_) {
+    INBAND_ASSERT(h.module != module, "duplicate audit hook name");
+  }
+  hooks_.push_back(NamedHook{std::move(module), std::move(hook)});
+}
+
+bool InvariantAuditor::unregister_hook(std::string_view module) {
+  for (auto it = hooks_.begin(); it != hooks_.end(); ++it) {
+    if (it->module == module) {
+      hooks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t InvariantAuditor::run_hook(const NamedHook& h, SimTime now) {
+  const std::size_t before = violations_.size();
+  AuditScope scope{*this, h.module, now};
+  h.hook(scope);
+  ++audits_run_;
+  return violations_.size() - before;
+}
+
+std::size_t InvariantAuditor::run_all(SimTime now) {
+  std::size_t found = 0;
+  for (const auto& h : hooks_) found += run_hook(h, now);
+  return found;
+}
+
+std::size_t InvariantAuditor::run_one(std::string_view module, SimTime now) {
+  for (const auto& h : hooks_) {
+    if (h.module == module) return run_hook(h, now);
+  }
+  INBAND_ASSERT(false, "run_one: no such audit hook");
+  return 0;
+}
+
+void InvariantAuditor::report(std::string_view module,
+                              std::string_view invariant, std::string detail,
+                              SimTime t) {
+  if (mode_ == AuditFailMode::kAbort) {
+    std::fprintf(stderr,
+                 "invariant audit failed: [%.*s] %.*s at t=%s%s%s\n",
+                 static_cast<int>(module.size()), module.data(),
+                 static_cast<int>(invariant.size()), invariant.data(),
+                 format_duration(t).c_str(), detail.empty() ? "" : " — ",
+                 detail.c_str());
+    std::abort();
+  }
+  violations_.push_back(AuditViolation{std::string(module),
+                                       std::string(invariant),
+                                       std::move(detail), t});
+}
+
+}  // namespace inband

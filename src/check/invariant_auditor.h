@@ -1,0 +1,106 @@
+// Runtime invariant auditor.
+//
+// A registry of per-module audit hooks that walk live data structures and
+// verify structural invariants the unit tests cannot see from the outside:
+// event-queue time monotonicity, TCP sequence/window relationships, Maglev
+// table validity, conntrack and flow-state-table consistency. Modules expose
+// an `audit_invariants(AuditScope&)` method; owners (the cluster rig, tests)
+// register those methods as hooks and run the whole set — periodically from
+// a simulator event in audit-enabled builds, or on demand.
+//
+// Failure handling is configurable: kAbort turns the first violation into an
+// INBAND_ASSERT-style abort (the right default for debug simulation runs),
+// kCollect records violations for inspection (what the negative tests use to
+// assert that injected corruption is detected).
+//
+// This library depends only on util/, so every other subsystem can link it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+
+namespace inband {
+
+struct AuditViolation {
+  std::string module;     // registered hook name, e.g. "lb0/maglev"
+  std::string invariant;  // short invariant id, e.g. "slot-owner-valid"
+  std::string detail;     // free-form context for the report
+  SimTime t = kNoTime;    // simulation time of the audit that caught it
+};
+
+enum class AuditFailMode { kAbort, kCollect };
+
+class InvariantAuditor;
+
+// Handed to every hook invocation; carries the audit time and routes check
+// results back to the auditor under the hook's module name.
+class AuditScope {
+ public:
+  SimTime now() const { return now_; }
+
+  // Records a violation when `ok` is false; returns `ok` so callers can
+  // guard follow-on checks that would crash on corrupt state.
+  bool check(bool ok, std::string_view invariant, std::string detail = {});
+
+ private:
+  friend class InvariantAuditor;
+  AuditScope(InvariantAuditor& auditor, std::string_view module, SimTime now)
+      : auditor_{auditor}, module_{module}, now_{now} {}
+
+  InvariantAuditor& auditor_;
+  std::string_view module_;
+  SimTime now_;
+};
+
+class InvariantAuditor {
+ public:
+  using Hook = std::function<void(AuditScope&)>;
+
+  explicit InvariantAuditor(AuditFailMode mode = AuditFailMode::kAbort)
+      : mode_{mode} {}
+
+  // Registers a named hook; names must be unique (asserted). Hooks run in
+  // registration order so audit output is deterministic.
+  void register_hook(std::string module, Hook hook);
+  bool unregister_hook(std::string_view module);
+  std::size_t hook_count() const { return hooks_.size(); }
+
+  // Runs every registered hook at simulation time `now`. Returns the number
+  // of violations found by this run (always 0 in kAbort mode — the first
+  // violation aborts).
+  std::size_t run_all(SimTime now);
+
+  // Runs a single registered hook; returns violations found.
+  std::size_t run_one(std::string_view module, SimTime now);
+
+  // Direct reporting entry (used by AuditScope::check and free-standing
+  // audit code). Aborts in kAbort mode.
+  void report(std::string_view module, std::string_view invariant,
+              std::string detail, SimTime t);
+
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  std::uint64_t audits_run() const { return audits_run_; }
+  void clear_violations() { violations_.clear(); }
+
+  AuditFailMode fail_mode() const { return mode_; }
+
+ private:
+  struct NamedHook {
+    std::string module;
+    Hook hook;
+  };
+
+  std::size_t run_hook(const NamedHook& h, SimTime now);
+
+  AuditFailMode mode_;
+  std::vector<NamedHook> hooks_;
+  std::vector<AuditViolation> violations_;
+  std::uint64_t audits_run_ = 0;
+};
+
+}  // namespace inband

@@ -1,0 +1,14 @@
+#include "check/state_digest.h"
+
+#include <cstdio>
+
+namespace inband {
+
+std::string StateDigest::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h_));
+  return std::string(buf);
+}
+
+}  // namespace inband

@@ -1,0 +1,77 @@
+// Order-sensitive and order-insensitive state hashing for determinism
+// checks.
+//
+// StateDigest is an FNV-1a-64 accumulator; modules implement
+// `digest_state(StateDigest&) const` and fold in every field that must be
+// identical across two same-seed runs. For unordered containers
+// (conntrack, flow-state, TCP demux maps) iteration order is not part of
+// the contract, so per-entry digests are combined commutatively via
+// UnorderedDigest and only the combined value is mixed in.
+//
+// The digest is a detector, not a cryptographic commitment: FNV is cheap,
+// stable across runs and platforms with identical arithmetic, and a single
+// diverging field anywhere in the mixed state flips the value with high
+// probability — exactly what examples/determinism_check.cc needs to catch
+// iteration-order or uninitialized-read nondeterminism.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace inband {
+
+class StateDigest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_u32(std::uint32_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix_bool(bool v) { mix(v ? 1u : 0u); }
+  // Bit pattern, so -0.0 vs 0.0 and NaN payload differences are visible.
+  void mix_double(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix_string(std::string_view s) {
+    mix(s.size());
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+  }
+
+  std::uint64_t value() const { return h_; }
+  std::string hex() const;
+
+ private:
+  void mix_byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;  // FNV-1a 64 prime
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+};
+
+// Commutative combiner for unordered containers: digest each entry into its
+// own StateDigest, add the entry values here, then mix `combined()` (entry
+// count + sum) into the parent digest.
+class UnorderedDigest {
+ public:
+  void add(std::uint64_t entry_digest) {
+    sum_ += entry_digest;
+    ++count_;
+  }
+  void add(const StateDigest& entry) { add(entry.value()); }
+
+  void mix_into(StateDigest& parent) const {
+    parent.mix(count_);
+    parent.mix(sum_);
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t sum_ = 0;  // wraps mod 2^64; commutative by construction
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace inband

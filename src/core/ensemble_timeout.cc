@@ -1,5 +1,9 @@
 #include "core/ensemble_timeout.h"
 
+#include <string>
+
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -97,6 +101,50 @@ SimTime EnsembleTimeout::on_packet(EnsembleState& state, SimTime now) const {
 SimTime EnsembleTimeout::current_delta(const EnsembleState& state) const {
   if (!state.initialized) return kNoTime;
   return config_.timeouts[state.chosen];
+}
+
+void EnsembleTimeout::audit_state(const EnsembleState& state, std::size_t k,
+                                  AuditScope& scope) {
+  if (!state.initialized) {
+    scope.check(state.epoch_start == kNoTime, "uninitialized-state-blank");
+    return;
+  }
+  const SimTime now = scope.now();
+  const bool layout_ok =
+      scope.check(state.per_timeout.size() == k && state.samples.size() == k,
+                  "ladder-layout",
+                  "per-flow vectors disagree with ladder size k") &&
+      scope.check(state.chosen < k, "chosen-in-range",
+                  "chosen=" + std::to_string(state.chosen));
+  scope.check(state.epoch_start != kNoTime && state.epoch_start <= now,
+              "epoch-start-in-past");
+  if (!layout_ok) return;
+  for (std::size_t i = 0; i < k; ++i) {
+    const FixedTimeoutState& f = state.per_timeout[i];
+    if (f.time_last_pkt == kNoTime) {
+      scope.check(f.time_last_batch == kNoTime, "batch-needs-packet");
+      continue;
+    }
+    scope.check(f.time_last_pkt <= now, "last-packet-in-past");
+    scope.check(f.time_last_batch != kNoTime &&
+                    f.time_last_batch <= f.time_last_pkt,
+                "batch-timer-ordered",
+                "batch start after last packet (timeout index " +
+                    std::to_string(i) + ")");
+  }
+}
+
+void EnsembleTimeout::digest_state(const EnsembleState& state,
+                                   StateDigest& digest) {
+  digest.mix_bool(state.initialized);
+  digest.mix_i64(state.epoch_start);
+  digest.mix_u32(state.chosen);
+  digest.mix(state.per_timeout.size());
+  for (const auto& f : state.per_timeout) {
+    digest.mix_i64(f.time_last_batch);
+    digest.mix_i64(f.time_last_pkt);
+  }
+  for (const auto n : state.samples) digest.mix_u32(n);
 }
 
 }  // namespace inband

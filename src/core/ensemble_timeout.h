@@ -30,6 +30,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 struct EnsembleConfig {
   // δ₁ … δₖ, strictly increasing. Paper default: 64µs, 128µs, …, 4ms.
   std::vector<SimTime> timeouts = default_timeouts();
@@ -74,6 +77,15 @@ class EnsembleTimeout {
 
   // Exposed for tests: the cliff rule applied to raw counts.
   static std::size_t detect_cliff(const std::vector<std::uint32_t>& counts);
+
+  // Invariant audit for one flow's state against ladder size k: vector
+  // layouts, the chosen index, epoch bookkeeping, and each FIXEDTIMEOUT
+  // instance's batch-timer ordering (batch start <= last packet <= now).
+  static void audit_state(const EnsembleState& state, std::size_t k,
+                          AuditScope& scope);
+
+  // Folds one flow's estimator state into a determinism digest.
+  static void digest_state(const EnsembleState& state, StateDigest& digest);
 
  private:
   void init_state(EnsembleState& state, SimTime now) const;

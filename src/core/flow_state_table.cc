@@ -1,5 +1,7 @@
 #include "core/flow_state_table.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -43,6 +45,38 @@ void FlowStateTable::maybe_sweep(SimTime now) {
       ++it;
     }
   }
+}
+
+void FlowStateTable::audit_invariants(AuditScope& scope,
+                                      std::size_t expected_k) const {
+  const SimTime now = scope.now();
+  scope.check(map_.size() <= config_.max_entries, "capacity-bound",
+              "flow state table exceeds max_entries");
+  scope.check(last_sweep_ <= now, "sweep-clock-sane");
+  for (const auto& [flow, entry] : map_) {
+    scope.check(entry.last_seen != kNoTime && entry.last_seen <= now,
+                "last-seen-in-past", format_flow(flow));
+    scope.check(entry.state.min_sample == kNoTime ||
+                    entry.state.min_sample >= 0,
+                "floor-nonnegative", format_flow(flow));
+    EnsembleTimeout::audit_state(entry.state.ensemble, expected_k, scope);
+  }
+}
+
+void FlowStateTable::digest_state(StateDigest& digest) const {
+  UnorderedDigest entries;
+  for (const auto& [flow, entry] : map_) {
+    StateDigest e;
+    e.mix(hash_flow(flow));
+    e.mix_i64(entry.last_seen);
+    e.mix_i64(entry.state.min_sample);
+    EnsembleTimeout::digest_state(entry.state.ensemble, e);
+    entries.add(e);
+  }
+  entries.mix_into(digest);
+  digest.mix(evictions_);
+  digest.mix(expirations_);
+  digest.mix_i64(last_sweep_);
 }
 
 }  // namespace inband

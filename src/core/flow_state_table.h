@@ -16,6 +16,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 struct FlowStateTableConfig {
   std::size_t max_entries = 1 << 18;
   SimTime idle_timeout = sec(30);
@@ -54,6 +57,14 @@ class FlowStateTable {
   std::size_t size() const { return map_.size(); }
   std::uint64_t evictions() const { return evictions_; }
   std::uint64_t expirations() const { return expirations_; }
+
+  // Invariant audit: capacity/liveness bounds for the table itself plus the
+  // estimator-state sanity of every entry against ladder size
+  // `expected_k` (the owning policy passes EnsembleTimeout::k()).
+  void audit_invariants(AuditScope& scope, std::size_t expected_k) const;
+
+  // Order-independent digest of all per-flow state plus counters.
+  void digest_state(StateDigest& digest) const;
 
  private:
   struct Entry {

@@ -1,7 +1,10 @@
 #include "core/inband_lb_policy.h"
 
 #include <algorithm>
+#include <string>
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -183,6 +186,53 @@ void InbandLbPolicy::maybe_restore(SimTime now) {
   const auto count = static_cast<std::size_t>(
       step * static_cast<double>(table_.table_size()));
   if (count > 0) table_.move_slots(donor, needy, count);
+}
+
+void InbandLbPolicy::audit_invariants(AuditScope& scope) const {
+  table_.audit_invariants(scope, &pool_);
+  flows_.audit_invariants(scope, estimator_.k());
+  tracker_.audit_invariants(scope);
+  scope.check(tracker_.backend_count() == pool_.size(),
+              "tracker-covers-pool");
+  scope.check(fair_shares_.size() == pool_.size() &&
+                  target_shares_.size() == pool_.size(),
+              "share-bookkeeping-sized");
+  const SimTime now = scope.now();
+  SimTime prev = kNoTime;
+  for (const auto& s : shifts_) {
+    scope.check(s.t <= now, "shift-in-past");
+    scope.check(prev == kNoTime || s.t >= prev, "shift-history-ordered");
+    scope.check(s.from < pool_.size(), "shift-victim-in-pool",
+                "shift away from unknown backend " + std::to_string(s.from));
+    prev = s.t;
+  }
+  scope.check(last_restore_ <= now, "restore-clock-sane");
+}
+
+void InbandLbPolicy::digest_state(StateDigest& digest) const {
+  table_.digest_state(digest);
+  flows_.digest_state(digest);
+  tracker_.digest_state(digest);
+  digest.mix(samples_total_);
+  digest.mix(handshake_samples_);
+  digest.mix(slots_disturbed_);
+  digest.mix_i64(last_restore_);
+  digest.mix(shifts_.size());
+  for (const auto& s : shifts_) {
+    digest.mix_i64(s.t);
+    digest.mix_u32(s.from);
+    digest.mix(s.slots_moved);
+    digest.mix_double(s.worst_score_ns);
+    digest.mix_double(s.best_score_ns);
+  }
+  UnorderedDigest floors;
+  for (const auto& [addr, floor] : client_floor_) {
+    StateDigest e;
+    e.mix_u32(addr);
+    e.mix_i64(floor);
+    floors.add(e);
+  }
+  floors.mix_into(digest);
 }
 
 }  // namespace inband

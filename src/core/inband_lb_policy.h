@@ -103,6 +103,10 @@ class InbandLbPolicy final : public RoutingPolicy {
   void on_flow_closed(const FlowKey& flow, BackendId backend,
                       SimTime now) override;
   void on_pool_change(const BackendPool& pool) override;
+  // Audits the Maglev table against the pool, every per-flow estimator
+  // state, and the share bookkeeping the α-shift controller relies on.
+  void audit_invariants(AuditScope& scope) const override;
+  void digest_state(StateDigest& digest) const override;
 
   // --- introspection ---
   const MaglevTable& table() const { return table_; }

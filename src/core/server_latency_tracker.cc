@@ -1,5 +1,9 @@
 #include "core/server_latency_tracker.h"
 
+#include <string>
+
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -58,6 +62,32 @@ std::uint64_t ServerLatencyTracker::samples(BackendId backend) const {
 SimTime ServerLatencyTracker::last_sample_time(BackendId backend) const {
   INBAND_ASSERT(backend < entries_.size());
   return entries_[backend].last_sample;
+}
+
+void ServerLatencyTracker::audit_invariants(AuditScope& scope) const {
+  const SimTime now = scope.now();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (e.count == 0) {
+      scope.check(e.last_sample == kNoTime, "fresh-entry-blank",
+                  "backend " + std::to_string(i));
+      continue;
+    }
+    scope.check(e.last_sample != kNoTime && e.last_sample <= now,
+                "last-sample-in-past", "backend " + std::to_string(i));
+    scope.check(e.ewma.initialized(), "ewma-follows-count",
+                "backend " + std::to_string(i));
+  }
+}
+
+void ServerLatencyTracker::digest_state(StateDigest& digest) const {
+  digest.mix(entries_.size());
+  for (const auto& e : entries_) {
+    digest.mix(e.count);
+    digest.mix_i64(e.last_sample);
+    digest.mix_bool(e.ewma.initialized());
+    digest.mix_double(e.ewma.value());
+  }
 }
 
 }  // namespace inband

@@ -18,6 +18,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 enum class LatencyScoreMode { kEwma, kWindowedP95 };
 
 struct LatencyTrackerConfig {
@@ -50,6 +53,13 @@ class ServerLatencyTracker {
   std::uint64_t samples(BackendId backend) const;
   SimTime last_sample_time(BackendId backend) const;
   std::size_t backend_count() const { return entries_.size(); }
+
+  // Invariant audit: per-backend freshness timestamps lie in the past and
+  // score bookkeeping is consistent with the sample counts.
+  void audit_invariants(AuditScope& scope) const;
+
+  // Folds per-backend aggregation state into a determinism digest.
+  void digest_state(StateDigest& digest) const;
 
  private:
   struct Entry {

@@ -1,5 +1,7 @@
 #include "lb/conntrack.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -78,6 +80,53 @@ void ConnTracker::sweep(SimTime now) {
       ++it;
     }
   }
+}
+
+void ConnTracker::audit_invariants(AuditScope& scope,
+                                   BackendId backend_limit) const {
+  const SimTime now = scope.now();
+  scope.check(map_.size() <= config_.max_entries, "capacity-bound",
+              "conntrack exceeds max_entries");
+  scope.check(last_sweep_ <= now, "sweep-clock-sane");
+  for (const auto& [flow, entry] : map_) {
+    if (!scope.check(entry.backend != kNoBackend, "backend-assigned",
+                     format_flow(flow))) {
+      continue;
+    }
+    if (backend_limit != kNoBackend) {
+      scope.check(entry.backend < backend_limit, "backend-in-pool",
+                  format_flow(flow) + " pinned to out-of-range backend " +
+                      std::to_string(entry.backend));
+    }
+    scope.check(entry.last_seen <= now, "last-seen-in-past",
+                format_flow(flow));
+    if (entry.closing) {
+      scope.check(entry.close_marked != kNoTime && entry.close_marked <= now,
+                  "close-mark-sane", format_flow(flow));
+    } else {
+      scope.check(entry.close_marked == kNoTime, "close-mark-only-when-closing",
+                  format_flow(flow));
+    }
+  }
+}
+
+void ConnTracker::digest_state(StateDigest& digest) const {
+  UnorderedDigest entries;
+  for (const auto& [flow, entry] : map_) {
+    StateDigest e;
+    e.mix(hash_flow(flow));
+    e.mix_u32(entry.backend);
+    e.mix_i64(entry.last_seen);
+    e.mix_bool(entry.closing);
+    e.mix_i64(entry.close_marked);
+    entries.add(e);
+  }
+  entries.mix_into(digest);
+  digest.mix(hits_);
+  digest.mix(misses_);
+  digest.mix(evictions_);
+  digest.mix(expirations_);
+  digest.mix_i64(last_sweep_);
 }
 
 std::vector<std::size_t> ConnTracker::connections_per_backend() const {

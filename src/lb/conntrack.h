@@ -17,6 +17,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 struct ConntrackConfig {
   std::size_t max_entries = 1 << 20;
   SimTime idle_timeout = sec(60);
@@ -52,6 +55,16 @@ class ConnTracker {
 
   // Live (non-closing) connections per backend id.
   std::vector<std::size_t> connections_per_backend() const;
+
+  // Invariant audit: capacity bound holds, every entry's timestamps are in
+  // the past, and closing entries carry a close mark. When `backend_limit`
+  // is not kNoBackend, every pinned backend id must be below it (the LB
+  // passes its pool size — forwarding indexes an array with this id).
+  void audit_invariants(AuditScope& scope,
+                        BackendId backend_limit = kNoBackend) const;
+
+  // Order-independent digest of the whole table plus counters.
+  void digest_state(StateDigest& digest) const;
 
  private:
   struct Entry {

@@ -1,5 +1,7 @@
 #include "lb/load_balancer.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -80,6 +82,31 @@ std::uint64_t LoadBalancer::forwarded_to(BackendId id) const {
 std::uint64_t LoadBalancer::new_flows_to(BackendId id) const {
   INBAND_ASSERT(id < new_flows_per_backend_.size());
   return new_flows_per_backend_[id];
+}
+
+void LoadBalancer::audit_invariants(AuditScope& scope) const {
+  scope.check(forwarded_per_backend_.size() == pool_.size() &&
+                  new_flows_per_backend_.size() == pool_.size(),
+              "stat-vectors-sized-to-pool");
+  conntrack_.audit_invariants(scope, static_cast<BackendId>(pool_.size()));
+  policy_->audit_invariants(scope);
+}
+
+void LoadBalancer::digest_state(StateDigest& digest) const {
+  digest.mix(pool_.size());
+  for (const auto& b : pool_) {
+    digest.mix_u32(b.id);
+    digest.mix_u32(b.weight);
+    digest.mix_bool(b.healthy);
+  }
+  conntrack_.digest_state(digest);
+  for (const auto v : forwarded_per_backend_) digest.mix(v);
+  for (const auto v : new_flows_per_backend_) digest.mix(v);
+  for (const auto& [name, value] : counters_.snapshot()) {
+    digest.mix_string(name);
+    digest.mix(value);
+  }
+  policy_->digest_state(digest);
 }
 
 }  // namespace inband

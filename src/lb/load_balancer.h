@@ -46,6 +46,14 @@ class LoadBalancer : public Host {
   std::uint64_t forwarded_to(BackendId id) const;
   std::uint64_t new_flows_to(BackendId id) const;
 
+  // Invariant audit across the whole dataplane: conntrack consistency
+  // (every pinned backend within the pool), per-backend stat vectors sized
+  // to the pool, and the routing policy's own invariants.
+  void audit_invariants(AuditScope& scope) const;
+
+  // Folds dataplane + policy state into a determinism digest.
+  void digest_state(StateDigest& digest) const;
+
  private:
   BackendPool pool_;
   std::unique_ptr<RoutingPolicy> policy_;

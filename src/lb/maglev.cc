@@ -1,8 +1,11 @@
 #include "lb/maglev.h"
 
 #include <algorithm>
+#include <string>
 #include <string_view>
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -145,6 +148,49 @@ std::size_t MaglevTable::move_slots(BackendId from, BackendId to,
     ++moved;
   }
   return moved;
+}
+
+void MaglevTable::audit_invariants(AuditScope& scope,
+                                   const BackendPool* pool) const {
+  if (!scope.check(table_.size() == table_size_, "table-size-consistent")) {
+    return;
+  }
+  for (std::uint64_t i = 0; i < table_size_; ++i) {
+    const BackendId id = table_[i];
+    if (!scope.check(id != kNoBackend, "slot-populated",
+                     "empty slot " + std::to_string(i))) {
+      continue;
+    }
+    if (!scope.check(id <= max_backend_id_, "slot-owner-valid",
+                     "slot " + std::to_string(i) + " owned by unknown id " +
+                         std::to_string(id))) {
+      continue;
+    }
+    if (pool != nullptr) {
+      bool in_pool = false;
+      for (const auto& b : *pool) {
+        if (b.id == id) {
+          in_pool = true;
+          break;
+        }
+      }
+      scope.check(in_pool, "slot-owner-in-pool",
+                  "slot " + std::to_string(i) + " owned by id " +
+                      std::to_string(id) + " absent from the pool");
+    }
+  }
+}
+
+void MaglevTable::digest_state(StateDigest& digest) const {
+  digest.mix(table_size_);
+  digest.mix(seed_);
+  digest.mix_u32(max_backend_id_);
+  for (const BackendId id : table_) digest.mix_u32(id);
+}
+
+void MaglevTable::corrupt_slot_for_test(std::size_t slot, BackendId id) {
+  INBAND_ASSERT(slot < table_.size());
+  table_[slot] = id;
 }
 
 std::size_t MaglevTable::diff(const MaglevTable& other) const {

@@ -23,6 +23,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 class MaglevTable {
  public:
   // table_size must be a prime (asserted); 65537 in the Maglev paper's small
@@ -54,6 +57,19 @@ class MaglevTable {
 
   // Number of slots that differ between this table and `other` (same size).
   std::size_t diff(const MaglevTable& other) const;
+
+  // Invariant audit: the table is fully populated (build() ran), every slot
+  // owner is a known backend id and — when a pool is supplied — a backend
+  // that actually exists in the pool. This is the permutation-validity check
+  // the α-shift fast path relies on: lookup() is an unchecked array read.
+  void audit_invariants(AuditScope& scope, const BackendPool* pool) const;
+
+  // Folds the full slot assignment into a determinism digest.
+  void digest_state(StateDigest& digest) const;
+
+  // Fault injection for the auditor's negative tests: overwrites one slot,
+  // bypassing every consistency guarantee. Never call outside tests.
+  void corrupt_slot_for_test(std::size_t slot, BackendId id);
 
  private:
   std::uint64_t table_size_;

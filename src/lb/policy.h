@@ -14,6 +14,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;
@@ -45,6 +48,14 @@ class RoutingPolicy {
   // precompute structures (hash tables, weight sums) rebuild here. Existing
   // connections are unaffected: conntrack pins them until they finish.
   virtual void on_pool_change(const BackendPool& pool) { (void)pool; }
+
+  // Invariant audit over the policy's internal structures (hash tables,
+  // per-flow state). Default: nothing to audit.
+  virtual void audit_invariants(AuditScope& scope) const { (void)scope; }
+
+  // Folds policy state into a determinism digest. Default: nothing beyond
+  // what the LB itself digests.
+  virtual void digest_state(StateDigest& digest) const { (void)digest; }
 };
 
 }  // namespace inband

@@ -1,5 +1,6 @@
 #include "scenario/cluster_rig.h"
 
+#include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -105,6 +106,32 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
               {now, inband_policies_[0]->table().shares()});
         });
   }
+
+  // Audit hooks for every stateful subsystem. Registration is unconditional
+  // (cheap, and lets tests run audits on demand in any build); the periodic
+  // audit event in run() is what kAuditsEnabled gates.
+  auditor_.register_hook("sim",
+                         [this](AuditScope& s) { sim_.audit_invariants(s); });
+  for (int l = 0; l < config_.num_lbs; ++l) {
+    auditor_.register_hook(
+        "lb" + std::to_string(l), [this, l](AuditScope& s) {
+          lbs_[static_cast<std::size_t>(l)]->audit_invariants(s);
+        });
+  }
+  for (int s = 0; s < config_.num_servers; ++s) {
+    auditor_.register_hook(
+        "server" + std::to_string(s) + "/tcp", [this, s](AuditScope& scope) {
+          server_hosts_[static_cast<std::size_t>(s)]->stack().audit_invariants(
+              scope);
+        });
+  }
+  for (int c = 0; c < config_.num_client_hosts; ++c) {
+    auditor_.register_hook(
+        "client" + std::to_string(c) + "/tcp", [this, c](AuditScope& scope) {
+          client_hosts_[static_cast<std::size_t>(c)]->stack().audit_invariants(
+              scope);
+        });
+  }
 }
 
 ClusterRig::~ClusterRig() = default;
@@ -147,9 +174,19 @@ void ClusterRig::run() {
   }
 
   if (share_sampler_) share_sampler_->start(config_.share_sample_interval);
+  if (kAuditsEnabled && config_.audit_interval > 0) {
+    audit_task_ = std::make_unique<PeriodicTask>(
+        sim_, config_.audit_interval,
+        [this](SimTime now) { auditor_.run_all(now); });
+    audit_task_->start(config_.audit_interval);
+  }
   for (auto& c : clients_) c->start();
   sim_.run_until(config_.duration);
   for (auto& c : clients_) c->stop();
+  if (audit_task_) {
+    audit_task_->cancel();
+    auditor_.run_all(sim_.now());  // final full audit at end of run
+  }
 }
 
 std::vector<Sample> ClusterRig::get_latency_samples() const {
@@ -163,6 +200,33 @@ std::vector<Sample> ClusterRig::get_latency_samples() const {
 
 InbandLbPolicy* ClusterRig::inband_policy(int i) {
   return inband_policies_[static_cast<std::size_t>(i)];
+}
+
+std::size_t ClusterRig::run_full_audit() {
+  return auditor_.run_all(sim_.now());
+}
+
+std::uint64_t ClusterRig::state_digest() {
+  StateDigest d;
+  sim_.digest_state(d);
+  for (auto& lb : lbs_) lb->digest_state(d);
+  for (auto& h : server_hosts_) h->stack().digest_state(d);
+  for (auto& h : client_hosts_) h->stack().digest_state(d);
+  d.mix(records_.size());
+  for (const auto& r : records_) {
+    d.mix_i64(r.sent_at);
+    d.mix_i64(r.latency);
+    d.mix_u32(static_cast<std::uint32_t>(r.op));
+    d.mix_bool(r.hit);
+    d.mix_u32(static_cast<std::uint32_t>(r.conn_index));
+    d.mix(hash_flow(r.flow));
+  }
+  d.mix(share_history_.size());
+  for (const auto& snap : share_history_) {
+    d.mix_i64(snap.t);
+    for (const double v : snap.shares) d.mix_double(v);
+  }
+  return d.value();
 }
 
 }  // namespace inband

@@ -18,6 +18,7 @@
 
 #include "app/kv_client.h"
 #include "app/kv_server.h"
+#include "check/invariant_auditor.h"
 #include "core/inband_lb_policy.h"
 #include "lb/load_balancer.h"
 #include "lb/policies.h"
@@ -66,6 +67,11 @@ struct ClusterRigConfig {
   SimTime duration = sec(20);
   // Sample LB slot shares every this often (0 disables).
   SimTime share_sample_interval = ms(1);
+  // Full invariant audit every this often during run(); only effective in
+  // audit-enabled builds (kAuditsEnabled, i.e. debug or
+  // -DINBAND_ENABLE_AUDITS=ON). 0 disables the periodic event; the audit
+  // hooks stay registered either way so tests can run them on demand.
+  SimTime audit_interval = ms(250);
   std::uint64_t seed = 2022;
 };
 
@@ -102,6 +108,19 @@ class ClusterRig {
 
   const ClusterRigConfig& config() const { return config_; }
 
+  // The rig-wide invariant auditor with every subsystem hook registered
+  // (simulator, each LB, each host TCP stack).
+  InvariantAuditor& auditor() { return auditor_; }
+
+  // Runs every audit hook immediately; returns violations found (aborts on
+  // the first one in the default kAbort mode).
+  std::size_t run_full_audit();
+
+  // Digest of all simulation state that must match between two same-seed
+  // runs: clock/scheduler, every LB (conntrack, Maglev table, estimator
+  // state), every TCP stack, RNGs, and the completed-request record stream.
+  std::uint64_t state_digest();
+
  private:
   std::unique_ptr<RoutingPolicy> make_policy(const BackendPool& pool,
                                              int lb_index);
@@ -118,6 +137,8 @@ class ClusterRig {
   std::vector<RequestRecord> records_;
   std::vector<ShareSnapshot> share_history_;
   std::unique_ptr<PeriodicTask> share_sampler_;
+  InvariantAuditor auditor_;
+  std::unique_ptr<PeriodicTask> audit_task_;
 };
 
 }  // namespace inband

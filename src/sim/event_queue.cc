@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -42,7 +44,30 @@ EventQueue::Popped EventQueue::pop() {
   Popped out{head.t, std::move(it->second)};
   handlers_.erase(it);
   --live_;
+  INBAND_DCHECK(last_popped_ == kNoTime || head.t >= last_popped_,
+                "event queue popped backwards in time");
+  last_popped_ = head.t;
   return out;
+}
+
+void EventQueue::audit_invariants(AuditScope& scope) {
+  scope.check(handlers_.size() == live_, "live-count-consistent",
+              "handler map size != live counter");
+  scope.check(heap_.size() >= live_, "heap-covers-live",
+              "fewer heap entries than live events");
+  scope.check(next_id_ >= 1 + live_, "id-counter-sane");
+  const SimTime next = next_time();
+  if (next != kNoTime && last_popped_ != kNoTime) {
+    scope.check(next >= last_popped_, "time-monotonic",
+                "next live event is earlier than the last popped event");
+  }
+}
+
+void EventQueue::digest_state(StateDigest& digest) {
+  digest.mix(next_id_);
+  digest.mix(live_);
+  digest.mix_i64(last_popped_);
+  digest.mix_i64(next_time());
 }
 
 }  // namespace inband

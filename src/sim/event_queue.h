@@ -16,6 +16,9 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
+
 // Opaque handle for cancellation. Id 0 is never issued.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
@@ -43,6 +46,19 @@ class EventQueue {
 
   std::uint64_t total_pushed() const { return next_id_ - 1; }
 
+  // Timestamp of the most recently popped event; kNoTime before any pop.
+  SimTime last_popped() const { return last_popped_; }
+
+  // Invariant audit: handler/live bookkeeping agrees and the next live event
+  // is not earlier than the last popped one (time monotonicity). Non-const
+  // because inspecting the head may compact tombstones.
+  void audit_invariants(AuditScope& scope);
+
+  // Folds scheduling state into a determinism digest (handlers themselves
+  // are not hashable; identical push/pop/cancel sequences are what make two
+  // runs equal). Non-const for the same reason as audit_invariants.
+  void digest_state(StateDigest& digest);
+
  private:
   struct HeapEntry {
     SimTime t;
@@ -59,6 +75,7 @@ class EventQueue {
   std::unordered_map<EventId, std::function<void()>> handlers_;
   EventId next_id_ = 1;
   std::size_t live_ = 0;
+  SimTime last_popped_ = kNoTime;
 };
 
 }  // namespace inband

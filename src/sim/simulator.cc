@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -34,6 +36,22 @@ void Simulator::run_until(SimTime deadline) {
     step();
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+void Simulator::audit_invariants(AuditScope& scope) {
+  scope.check(now_ >= 0, "clock-nonnegative");
+  const SimTime next = queue_.next_time();
+  if (next != kNoTime) {
+    scope.check(next >= now_, "no-event-in-the-past",
+                "live event scheduled before now()");
+  }
+  queue_.audit_invariants(scope);
+}
+
+void Simulator::digest_state(StateDigest& digest) {
+  digest.mix_i64(now_);
+  digest.mix(executed_);
+  queue_.digest_state(digest);
 }
 
 namespace {

@@ -49,6 +49,13 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  // Invariant audit: clock sanity plus the event queue's own invariants
+  // (no live event scheduled in the simulator's past).
+  void audit_invariants(AuditScope& scope);
+
+  // Folds clock/scheduler state into a determinism digest.
+  void digest_state(StateDigest& digest);
+
   // Installs this simulator's clock as the logging time prefix for the
   // duration of the returned guard.
   class LogClockGuard {

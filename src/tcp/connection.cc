@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "tcp/seq.h"
 #include "tcp/stack.h"
 #include "util/assert.h"
@@ -508,6 +510,52 @@ void TcpConnection::teardown(bool reset_seen) {
   }
   if (cb_.on_closed) cb_.on_closed(*this, reset_seen);
   stack_.reap(key_);
+}
+
+void TcpConnection::audit_invariants(AuditScope& scope) const {
+  const std::string who = format_flow(key_);
+  scope.check(snd_una_ <= snd_nxt_, "snd-una-le-snd-nxt", who);
+  scope.check(snd_nxt_ <= send_buf_.end() + (fin_sent_ ? 1 : 0),
+              "snd-nxt-within-queued", who);
+  if (fin_sent_) {
+    scope.check(close_requested_, "fin-implies-close-requested", who);
+    scope.check(fin_offset_ == send_buf_.end(), "fin-after-stream-end", who);
+  }
+  if (peer_fin_seen_) {
+    scope.check(recv_buf_.rcv_nxt() <= peer_fin_offset_ + 1,
+                "rcv-nxt-within-peer-fin", who);
+  }
+  if (peer_fin_processed_) {
+    scope.check(peer_fin_seen_, "fin-processed-implies-seen", who);
+  }
+  scope.check(srtt_ >= 0 && rttvar_ >= 0, "rtt-estimator-nonnegative", who);
+  scope.check(rto_ > 0, "rto-positive", who);
+  scope.check(retx_attempts_ >= 0, "retx-attempts-nonnegative", who);
+  scope.check(ts_recent_ == kNoTime || ts_recent_ <= scope.now(),
+              "timestamp-echo-in-past", who);
+}
+
+void TcpConnection::digest_state(StateDigest& digest) const {
+  digest.mix(hash_flow(key_));
+  digest.mix_u32(static_cast<std::uint32_t>(state_));
+  digest.mix_u32(isn_);
+  digest.mix_u32(irs_);
+  digest.mix(snd_una_);
+  digest.mix(snd_nxt_);
+  digest.mix(send_buf_.end());
+  digest.mix(peer_rwnd_);
+  digest.mix_bool(close_requested_);
+  digest.mix_bool(fin_sent_);
+  digest.mix(recv_buf_.rcv_nxt());
+  digest.mix_bool(peer_fin_seen_);
+  digest.mix_i64(ts_recent_);
+  digest.mix_i64(srtt_);
+  digest.mix_i64(rttvar_);
+  digest.mix_i64(rto_);
+  digest.mix_i64(next_pace_);
+  digest.mix(retransmits_);
+  digest.mix(segments_sent_);
+  digest.mix(segments_received_);
 }
 
 }  // namespace inband

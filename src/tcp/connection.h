@@ -27,6 +27,8 @@
 
 namespace inband {
 
+class AuditScope;
+class StateDigest;
 class TcpStack;
 
 enum class TcpState {
@@ -110,6 +112,13 @@ class TcpConnection {
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t segments_sent() const { return segments_sent_; }
   std::uint64_t segments_received() const { return segments_received_; }
+
+  // Invariant audit: sequence-number ordering (snd_una <= snd_nxt <= queued
+  // end), window/FIN bookkeeping, and RTT estimator sanity.
+  void audit_invariants(AuditScope& scope) const;
+
+  // Folds the connection's full transport state into a determinism digest.
+  void digest_state(StateDigest& digest) const;
 
  private:
   friend class TcpStack;

@@ -1,5 +1,7 @@
 #include "tcp/stack.h"
 
+#include "check/invariant_auditor.h"
+#include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -117,6 +119,37 @@ void TcpStack::reap(const FlowKey& key) {
       conns_.erase(it);
     }
   });
+}
+
+void TcpStack::audit_invariants(AuditScope& scope) const {
+  for (const auto& [key, conn] : conns_) {
+    if (!scope.check(conn != nullptr, "demux-entry-live", format_flow(key))) {
+      continue;
+    }
+    scope.check(conn->key() == key, "demux-key-matches-connection",
+                format_flow(key));
+    conn->audit_invariants(scope);
+  }
+  scope.check(conn_counter_ == initiated_ + accepted_,
+              "connection-counter-consistent");
+  scope.check(conns_.size() <= conn_counter_, "live-bounded-by-created");
+}
+
+void TcpStack::digest_state(StateDigest& digest) const {
+  UnorderedDigest conns;
+  for (const auto& [key, conn] : conns_) {
+    StateDigest e;
+    conn->digest_state(e);
+    conns.add(e);
+  }
+  conns.mix_into(digest);
+  digest.mix(listeners_.size());
+  digest.mix(next_ephemeral_);
+  digest.mix(conn_counter_);
+  digest.mix(resets_sent_);
+  digest.mix(accepted_);
+  digest.mix(initiated_);
+  for (const auto w : rng_.state()) digest.mix(w);
 }
 
 }  // namespace inband

@@ -51,6 +51,14 @@ class TcpStack {
   std::uint64_t accepted() const { return accepted_; }
   std::uint64_t initiated() const { return initiated_; }
 
+  // Invariant audit: demux-map key consistency plus every connection's own
+  // sequence/window invariants.
+  void audit_invariants(AuditScope& scope) const;
+
+  // Order-independent digest over all live connections plus stack-level
+  // counters and the port/ISN RNG state.
+  void digest_state(StateDigest& digest) const;
+
  private:
   friend class TcpConnection;
 

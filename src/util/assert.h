@@ -3,12 +3,34 @@
 // INBAND_ASSERT is active in every build type: it guards contract violations
 // on slow paths (setup, teardown, control plane). INBAND_DCHECK compiles out
 // in NDEBUG builds and may be used on the per-packet fast path.
+//
+// INBAND_AUDIT / INBAND_AUDIT_BLOCK are a third, heavier tier feeding the
+// runtime invariant auditor (src/check/): structural checks that walk whole
+// tables or queues. They compile to nothing unless INBAND_ENABLE_AUDITS is
+// defined — on by default in non-NDEBUG builds, forced on by the CMake
+// option -DINBAND_ENABLE_AUDITS=ON (the sanitizer CI preset), forced off by
+// defining INBAND_DISABLE_AUDITS.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 
-namespace inband::detail {
+#if !defined(INBAND_ENABLE_AUDITS) && !defined(NDEBUG) && \
+    !defined(INBAND_DISABLE_AUDITS)
+#define INBAND_ENABLE_AUDITS 1
+#endif
+
+namespace inband {
+
+// True when INBAND_AUDIT checks are compiled in; lets runtime code (e.g. the
+// cluster rig's periodic full-audit event) branch without an #ifdef.
+#ifdef INBAND_ENABLE_AUDITS
+inline constexpr bool kAuditsEnabled = true;
+#else
+inline constexpr bool kAuditsEnabled = false;
+#endif
+
+namespace detail {
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
@@ -17,7 +39,8 @@ namespace inband::detail {
   std::abort();
 }
 
-}  // namespace inband::detail
+}  // namespace detail
+}  // namespace inband
 
 #define INBAND_ASSERT(cond, ...)                                       \
   do {                                                                 \
@@ -33,4 +56,25 @@ namespace inband::detail {
   } while (0)
 #else
 #define INBAND_DCHECK(cond, ...) INBAND_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
+#ifdef INBAND_ENABLE_AUDITS
+// Condition form: aborts like INBAND_ASSERT when the audit fails.
+#define INBAND_AUDIT(cond, ...) INBAND_ASSERT(cond, ##__VA_ARGS__)
+// Statement form: runs arbitrary audit code (hook registration, periodic
+// full-audit scheduling) only in audit-enabled builds.
+#define INBAND_AUDIT_BLOCK(...) \
+  do {                          \
+    __VA_ARGS__;                \
+  } while (0)
+#else
+// sizeof keeps the condition syntactically checked (so audit-only bugs do
+// not rot in release-only code) without evaluating it — zero codegen.
+#define INBAND_AUDIT(cond, ...)  \
+  do {                           \
+    (void)sizeof(!(cond));       \
+  } while (0)
+#define INBAND_AUDIT_BLOCK(...) \
+  do {                          \
+  } while (0)
 #endif

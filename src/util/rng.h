@@ -85,6 +85,10 @@ class Rng {
   // Pareto with scale x_m > 0 and shape alpha > 0.
   double pareto(double x_m, double alpha);
 
+  // Engine state, exposed for determinism digests (check/state_digest):
+  // two same-seed runs must leave every RNG in an identical state.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

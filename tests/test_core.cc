@@ -717,7 +717,9 @@ TEST_P(ControllerProperty, ShiftAlwaysFromWorstAndCooldownHeld) {
         max_score = std::max(max_score, sc.score_ns);
       }
       EXPECT_DOUBLE_EQ(d->worst_score_ns, max_score);
-      if (last_shift != kNoTime) EXPECT_GE(now - last_shift, cooldown);
+      if (last_shift != kNoTime) {
+        EXPECT_GE(now - last_shift, cooldown);
+      }
       last_shift = now;
     }
   }

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/assert.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -200,7 +201,7 @@ TEST(Zipf, ZeroExponentIsNearUniform) {
   std::vector<int> counts(101, 0);
   constexpr int kN = 200'000;
   for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(z(r))];
-  for (int k = 1; k <= 100; ++k) {
+  for (std::size_t k = 1; k <= 100; ++k) {
     EXPECT_NEAR(counts[k], kN / 100, kN / 100 / 2) << "key " << k;
   }
 }
@@ -330,6 +331,66 @@ TEST(Logging, LevelGate) {
   EXPECT_TRUE(log_enabled(LogLevel::kError));
   set_log_level(old);
 }
+
+// --- assertion macros ---
+
+TEST(AssertMacros, AssertPassesOnTrue) {
+  INBAND_ASSERT(1 + 1 == 2);  // must not abort
+  int evaluations = 0;
+  INBAND_ASSERT(++evaluations == 1);
+  EXPECT_EQ(evaluations, 1);  // condition evaluated exactly once
+}
+
+TEST(AssertMacrosDeathTest, AssertAbortsWithMessage) {
+  EXPECT_DEATH(INBAND_ASSERT(false, "ctx message"), "assertion failed");
+  EXPECT_DEATH(INBAND_ASSERT(2 < 1, "ctx message"), "ctx message");
+}
+
+TEST(AssertMacros, DcheckMatchesBuildType) {
+  int evaluations = 0;
+  INBAND_DCHECK(++evaluations > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(evaluations, 0);  // compiled out
+#else
+  EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(AssertMacrosDeathTest, DcheckAbortsInDebug) {
+  EXPECT_DEATH(INBAND_DCHECK(false, "dcheck fired"), "dcheck fired");
+}
+#endif
+
+TEST(AssertMacros, AuditCompiledOnlyWhenEnabled) {
+  int evaluations = 0;
+  INBAND_AUDIT(++evaluations > 0);
+#ifdef INBAND_ENABLE_AUDITS
+  EXPECT_TRUE(kAuditsEnabled);
+  EXPECT_EQ(evaluations, 1);
+#else
+  EXPECT_FALSE(kAuditsEnabled);
+  // The condition must be syntax-checked but never evaluated.
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(AssertMacros, AuditBlockCompiledOnlyWhenEnabled) {
+  int runs = 0;
+  INBAND_AUDIT_BLOCK(++runs);
+  EXPECT_EQ(runs, kAuditsEnabled ? 1 : 0);
+}
+
+#ifdef INBAND_ENABLE_AUDITS
+TEST(AssertMacrosDeathTest, AuditAbortsWhenEnabled) {
+  EXPECT_DEATH(INBAND_AUDIT(false, "audit fired"), "audit fired");
+}
+#else
+TEST(AssertMacros, AuditNeverAbortsWhenDisabled) {
+  INBAND_AUDIT(false, "must be compiled out");  // reaching here is the test
+  SUCCEED();
+}
+#endif
 
 }  // namespace
 }  // namespace inband
