@@ -48,21 +48,37 @@ int main(int argc, char** argv) {
   std::int64_t inject_ms = 1;
   std::int64_t bucket_ms = 100;
   std::int64_t seed = 2022;
+  double loss = 0.0;
+  double reorder = 0.0;
+  double dup = 0.0;
+  std::int64_t fault_jitter_us = 0;
 
   FlagSet flags{"Fig 3: p95 GET latency, static Maglev vs latency-aware"};
   flags.add("duration_s", &duration_s, "simulated seconds");
   flags.add("inject_ms", &inject_ms, "injected LB->server0 delay, ms");
   flags.add("bucket_ms", &bucket_ms, "aggregation bucket, ms");
   flags.add("seed", &seed, "rng seed");
+  flags.add("loss", &loss, "per-packet loss probability on every link");
+  flags.add("reorder", &reorder, "per-packet reorder probability");
+  flags.add("dup", &dup, "per-packet duplication probability");
+  flags.add("fault_jitter_us", &fault_jitter_us,
+            "max per-packet fault-layer jitter (us)");
   if (!flags.parse(argc, argv)) return 1;
+
+  FaultPlan fault;
+  if (loss > 0.0 || reorder > 0.0 || dup > 0.0 || fault_jitter_us > 0) {
+    fault = make_noise_plan(loss, reorder, dup, us(fault_jitter_us));
+  }
 
   auto cfg_maglev = base_config(duration_s, inject_ms, seed);
   cfg_maglev.mode = LbMode::kStaticMaglev;
+  cfg_maglev.fault = fault;
   ClusterRig maglev{cfg_maglev};
   maglev.run();
 
   auto cfg_inband = base_config(duration_s, inject_ms, seed);
   cfg_inband.mode = LbMode::kInband;
+  cfg_inband.fault = fault;
   ClusterRig inband{cfg_inband};
   inband.run();
 

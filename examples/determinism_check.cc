@@ -57,6 +57,22 @@ int main() {
     c.num_client_hosts = 4;
     cases.push_back({"inband-2lb", c});
   }
+  // Fault-injected configurations: same seed + same FaultPlan must reproduce
+  // even with loss, reordering, duplication, jitter, flaps and a server
+  // crash in play.
+  {
+    auto c = base_config(LbMode::kInband, 2022);
+    c.fault = make_noise_plan(0.01, 0.01, 0.002, us(20));
+    cases.push_back({"inband-noise", c});
+  }
+  {
+    auto c = base_config(LbMode::kStaticMaglev, 2022);
+    c.fault = make_noise_plan(0.02, 0.01, 0.005, us(50));
+    c.fault.flaps.push_back({LinkScope::kServerToClient, 1, ms(600), ms(700)});
+    c.fault.servers.push_back(
+        {ServerFaultSpec::Kind::kCrash, 2, ms(400), ms(900)});
+    cases.push_back({"static-all-faults", c});
+  }
 
   int failures = 0;
   for (const auto& c : cases) {
@@ -79,6 +95,18 @@ int main() {
               static_cast<unsigned long long>(b),
               a != b ? "OK" : "DEGENERATE");
   if (a == b) ++failures;
+
+  // Same for the fault seed: the digest must cover the fault schedule.
+  auto noisy = base_config(LbMode::kInband, 2022);
+  noisy.fault = make_noise_plan(0.01, 0.01, 0.002, us(20));
+  const std::uint64_t f1 = run_once(noisy);
+  noisy.fault.seed ^= 0x5eed;
+  const std::uint64_t f2 = run_once(noisy);
+  std::printf("%-16s seedA=%016llx seedB=%016llx  %s\n", "fault-coverage",
+              static_cast<unsigned long long>(f1),
+              static_cast<unsigned long long>(f2),
+              f1 != f2 ? "OK" : "DEGENERATE");
+  if (f1 == f2) ++failures;
 
   if (failures > 0) {
     std::printf("determinism check FAILED (%d case%s)\n", failures,

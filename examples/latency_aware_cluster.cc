@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
   std::int64_t victim = 0;
   double alpha = 0.10;
   std::int64_t seed = 2022;
+  double loss = 0.0;
+  double reorder = 0.0;
+  double dup = 0.0;
+  std::int64_t fault_jitter_us = 0;
+  std::int64_t crash_server = -1;
+  std::int64_t fault_seed = 0xfa017;
 
   FlagSet flags{"latency-aware LB cluster demo"};
   flags.add("mode", &mode, "static|inband|rr|leastconn|random");
@@ -49,6 +55,14 @@ int main(int argc, char** argv) {
   flags.add("victim", &victim, "server index receiving the delay");
   flags.add("alpha", &alpha, "traffic fraction per shift");
   flags.add("seed", &seed, "rng seed");
+  flags.add("loss", &loss, "per-packet loss probability on every link");
+  flags.add("reorder", &reorder, "per-packet reorder probability");
+  flags.add("dup", &dup, "per-packet duplication probability");
+  flags.add("fault_jitter_us", &fault_jitter_us,
+            "max per-packet fault-layer jitter (us)");
+  flags.add("crash_server", &crash_server,
+            "server to crash mid-run (-1 disables)");
+  flags.add("fault_seed", &fault_seed, "fault-schedule rng seed");
   if (!flags.parse(argc, argv)) return 1;
 
   ClusterRigConfig cfg;
@@ -64,6 +78,18 @@ int main(int argc, char** argv) {
   cfg.inband.ensemble.epoch = ms(16);
   cfg.inband.controller.alpha = alpha;
   cfg.inband.controller.cooldown = ms(1);
+
+  if (loss > 0.0 || reorder > 0.0 || dup > 0.0 || fault_jitter_us > 0) {
+    cfg.fault = make_noise_plan(loss, reorder, dup, us(fault_jitter_us),
+                                static_cast<std::uint64_t>(fault_seed));
+  }
+  cfg.fault.seed = static_cast<std::uint64_t>(fault_seed);
+  if (crash_server >= 0 && crash_server < servers) {
+    // Crash mid-run, supervisor restarts it a second later.
+    cfg.fault.servers.push_back({ServerFaultSpec::Kind::kCrash,
+                                 static_cast<int>(crash_server),
+                                 cfg.duration / 3, cfg.duration / 3 + sec(1)});
+  }
 
   ClusterRig rig{cfg};
   rig.run();
@@ -85,6 +111,14 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(
                      rig.server(s).requests_served()),
                  rig.server(s).max_queue_depth());
+  }
+  if (auto* fl = rig.fault()) {
+    std::fprintf(
+        stderr, "faults: %llu lost, %llu reordered, %llu duplicated\n",
+        static_cast<unsigned long long>(fl->counters().value("fault.loss")),
+        static_cast<unsigned long long>(fl->counters().value("fault.reorders")),
+        static_cast<unsigned long long>(
+            fl->counters().value("fault.duplicates")));
   }
   if (auto* policy = rig.inband_policy()) {
     std::fprintf(stderr,

@@ -1,6 +1,7 @@
 #include "app/kv_server.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "util/assert.h"
 #include "util/logging.h"
@@ -24,9 +25,17 @@ void KvServer::add_injector(std::unique_ptr<VariabilityInjector> injector) {
 void KvServer::abort_all_connections() {
   queue_.clear();
   // abort() triggers on_closed, which erases from open_conns_; iterate a
-  // snapshot.
-  const std::vector<TcpConnection*> conns{open_conns_.begin(),
-                                          open_conns_.end()};
+  // snapshot. Sort it by flow key: the set is keyed on heap pointers, and
+  // the abort order fixes the order RSTs hit the wire — iterating in pointer
+  // order would make crash runs irreproducible.
+  std::vector<TcpConnection*> conns{open_conns_.begin(), open_conns_.end()};
+  std::sort(conns.begin(), conns.end(), [](const TcpConnection* a,
+                                           const TcpConnection* b) {
+    const FlowKey& fa = a->key();
+    const FlowKey& fb = b->key();
+    return std::tie(fa.dst.addr, fa.dst.port, fa.src.port) <
+           std::tie(fb.dst.addr, fb.dst.port, fb.src.port);
+  });
   for (auto* conn : conns) conn->abort();
 }
 

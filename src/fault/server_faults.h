@@ -1,0 +1,52 @@
+// Server-side fault wiring: maps a FaultPlan's ServerFaultSpecs onto live
+// KvServers.
+//
+// Stalls and the post-crash restart window reuse the server's
+// VariabilityInjector mechanism (`frozen_until`): no request may *start*
+// inside a frozen window, while in-flight requests complete — the same
+// semantics as a GC pause, but on an explicit schedule instead of a period.
+// A crash additionally resets every open connection and drops queued work at
+// the instant it fires (KvServer::abort_all_connections); clients reconnect
+// through the LB and the listener answers again once the freeze lifts.
+//
+// All executed events are reported through the owning FaultLayer so the
+// fault timeline, counters and digest stay in one place.
+#pragma once
+
+#include <vector>
+
+#include "app/kv_server.h"
+#include "app/variability.h"
+#include "fault/fault_layer.h"
+#include "fault/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace inband {
+
+// A process freeze on an explicit schedule: no request may start inside any
+// [start, end) window. Windows may overlap; frozen_until returns the end of
+// the latest window covering `now`.
+class ScheduledFreezeInjector final : public VariabilityInjector {
+ public:
+  struct Window {
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
+  explicit ScheduledFreezeInjector(std::vector<Window> windows);
+
+  SimTime frozen_until(SimTime now) override;
+
+ private:
+  std::vector<Window> windows_;
+};
+
+// Attaches `plan.servers` to the given servers (indexed by ServerFaultSpec::
+// server; out-of-range indices assert): freeze injectors for every stall and
+// crash window, plus scheduled crash/restart events on `sim`. Events are
+// recorded into `layer`.
+void apply_server_faults(const FaultPlan& plan, Simulator& sim,
+                         FaultLayer& layer,
+                         const std::vector<KvServer*>& servers);
+
+}  // namespace inband

@@ -47,11 +47,33 @@ bool Network::send(Ipv4 from, Ipv4 to, Packet pkt) {
   if (send_hook_) send_hook_(pkt, from, to);
 
   ++packets_sent_;
+  if (interceptor_ != nullptr) {
+    const SendVerdict verdict = interceptor_->on_send(pkt, from, to);
+    if (verdict.drop) {
+      // Lost in the network: the sender saw a successful send and recovery
+      // is the transport's problem, so this is `true`, unlike a queue drop.
+      return true;
+    }
+    if (verdict.duplicate_hold != kNoTime) {
+      transmit_held(*lit->second, *hit->second, pkt, verdict.duplicate_hold);
+    }
+    if (verdict.hold > 0) {
+      transmit_held(*lit->second, *hit->second, std::move(pkt), verdict.hold);
+      return true;
+    }
+  }
   if (!lit->second->transmit(std::move(pkt), *hit->second)) {
     ++packets_dropped_;
     return false;
   }
   return true;
+}
+
+void Network::transmit_held(Link& link, Host& dst, Packet pkt, SimTime hold) {
+  INBAND_ASSERT(hold >= 0);
+  sim_.schedule_after(hold, [this, &link, &dst, p = std::move(pkt)]() mutable {
+    if (!link.transmit(std::move(p), dst)) ++packets_dropped_;
+  });
 }
 
 }  // namespace inband

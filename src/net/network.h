@@ -25,6 +25,28 @@ namespace inband {
 
 class Host;
 
+// Fate of a packet decided by a SendInterceptor before the link sees it.
+// `drop` loses the packet silently (the sender cannot tell — recovery is the
+// transport's problem). `hold` delays handing the packet to the link; packets
+// sent later with a smaller hold overtake it, which is how the fault layer
+// produces genuine reordering past the link's FIFO guarantee. A
+// `duplicate_hold != kNoTime` additionally transmits a second copy of the
+// packet after that hold.
+struct SendVerdict {
+  bool drop = false;
+  SimTime hold = 0;
+  SimTime duplicate_hold = kNoTime;
+};
+
+// In-band interposition point for fault injection: consulted once per
+// Network::send() after pkt_id/sent_at stamping and the trace hook, so every
+// observer sees the packet exactly once regardless of its fate.
+class SendInterceptor {
+ public:
+  virtual ~SendInterceptor() = default;
+  virtual SendVerdict on_send(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
+};
+
 class Network {
  public:
   explicit Network(Simulator& sim) : sim_{sim} {}
@@ -58,6 +80,12 @@ class Network {
       std::function<void(const Packet&, Ipv4 from, Ipv4 to)>;
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
+  // Installs (or clears, with nullptr) the fault-injection interceptor. The
+  // interceptor is borrowed and must outlive the network or be cleared first.
+  void set_interceptor(SendInterceptor* interceptor) {
+    interceptor_ = interceptor;
+  }
+
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
 
@@ -66,10 +94,14 @@ class Network {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  // Transmits `pkt` on `link` toward `dst` after `hold` of simulated time.
+  void transmit_held(Link& link, Host& dst, Packet pkt, SimTime hold);
+
   Simulator& sim_;
   std::unordered_map<Ipv4, Host*> hosts_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   SendHook send_hook_;
+  SendInterceptor* interceptor_ = nullptr;
   std::uint64_t next_pkt_id_ = 1;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;

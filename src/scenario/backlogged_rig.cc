@@ -1,5 +1,7 @@
 #include "scenario/backlogged_rig.h"
 
+#include "util/assert.h"
+
 namespace inband {
 
 namespace {
@@ -52,6 +54,17 @@ BackloggedRig::BackloggedRig(BackloggedRigConfig config)
       });
   lb_ = std::make_unique<LoadBalancer>(sim_, net_, kVip, "lb", pool,
                                        std::move(tapped));
+
+  if (config_.fault.enabled()) {
+    INBAND_ASSERT(config_.fault.servers.empty(),
+                  "backlogged rig has no KvServers for server faults");
+    fault_ = std::make_unique<FaultLayer>(
+        sim_, net_, config_.fault,
+        std::vector<FaultLayer::LinkRef>{
+            {kSenderAddr, kVip, LinkScope::kClientToLb, 0},
+            {kVip, kReceiverAddr, LinkScope::kLbToServer, 0},
+            {kReceiverAddr, kSenderAddr, LinkScope::kServerToClient, 0}});
+  }
 
   bulk_sink_ = std::make_unique<BulkSink>(*receiver_host_, kSinkPort);
   bulk_sender_ = std::make_unique<BulkSender>(

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "app/bulk_flow.h"
+#include "fault/fault_layer.h"
 #include "lb/load_balancer.h"
 #include "lb/policies.h"
 #include "net/network.h"
@@ -56,6 +57,12 @@ struct BackloggedRigConfig {
   SimTime step_time = sec(3);        // when the RTT steps up
   SimTime step_extra = us(1500);     // injected extra one-way delay
   std::uint64_t seed = 42;
+
+  // Deterministic fault plan over the three links (sender→VIP is
+  // kClientToLb, VIP→receiver is kLbToServer, receiver→sender is
+  // kServerToClient, all index 0). Server faults are not supported on this
+  // rig — there is no KvServer — and assert. Empty disables the layer.
+  FaultPlan fault;
 };
 
 class BackloggedRig {
@@ -75,10 +82,16 @@ class BackloggedRig {
   LoadBalancer& lb() { return *lb_; }
   const BackloggedRigConfig& config() const { return config_; }
 
+  // The fault layer, or null when config.fault is empty.
+  FaultLayer* fault() { return fault_.get(); }
+
  private:
   BackloggedRigConfig config_;
   Simulator sim_;
   Network net_;
+  // Declared after net_ so it is destroyed first (it deregisters itself as
+  // the network's send interceptor on destruction).
+  std::unique_ptr<FaultLayer> fault_;
   std::unique_ptr<TcpHost> sender_host_;
   std::unique_ptr<TcpHost> receiver_host_;
   std::unique_ptr<LoadBalancer> lb_;

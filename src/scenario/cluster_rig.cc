@@ -1,6 +1,7 @@
 #include "scenario/cluster_rig.h"
 
 #include "check/state_digest.h"
+#include "fault/server_faults.h"
 #include "util/assert.h"
 #include "util/logging.h"
 
@@ -99,6 +100,34 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
     client_hosts_.push_back(std::move(host));
   }
 
+  // Fault layer over the full directed topology (client→VIP links indexed by
+  // client, VIP→server and server→client links indexed by server).
+  if (config_.fault.enabled()) {
+    std::vector<FaultLayer::LinkRef> topo;
+    for (int c = 0; c < config_.num_client_hosts; ++c) {
+      topo.push_back({client_addr(c), vip_addr(c % config_.num_lbs),
+                      LinkScope::kClientToLb, c});
+    }
+    for (int l = 0; l < config_.num_lbs; ++l) {
+      for (int s = 0; s < config_.num_servers; ++s) {
+        topo.push_back(
+            {vip_addr(l), server_addr(s), LinkScope::kLbToServer, s});
+      }
+    }
+    for (int s = 0; s < config_.num_servers; ++s) {
+      for (int c = 0; c < config_.num_client_hosts; ++c) {
+        topo.push_back(
+            {server_addr(s), client_addr(c), LinkScope::kServerToClient, s});
+      }
+    }
+    fault_ = std::make_unique<FaultLayer>(sim_, net_, config_.fault,
+                                          std::move(topo));
+    std::vector<KvServer*> raw_servers;
+    raw_servers.reserve(servers_.size());
+    for (auto& s : servers_) raw_servers.push_back(s.get());
+    apply_server_faults(config_.fault, sim_, *fault_, raw_servers);
+  }
+
   if (config_.share_sample_interval > 0 && inband_policies_[0] != nullptr) {
     share_sampler_ = std::make_unique<PeriodicTask>(
         sim_, config_.share_sample_interval, [this](SimTime now) {
@@ -112,6 +141,10 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
   // audit event in run() is what kAuditsEnabled gates.
   auditor_.register_hook("sim",
                          [this](AuditScope& s) { sim_.audit_invariants(s); });
+  if (fault_) {
+    auditor_.register_hook(
+        "fault", [this](AuditScope& s) { fault_->audit_invariants(s); });
+  }
   for (int l = 0; l < config_.num_lbs; ++l) {
     auditor_.register_hook(
         "lb" + std::to_string(l), [this, l](AuditScope& s) {
@@ -209,6 +242,7 @@ std::size_t ClusterRig::run_full_audit() {
 std::uint64_t ClusterRig::state_digest() {
   StateDigest d;
   sim_.digest_state(d);
+  if (fault_) fault_->digest_state(d);
   for (auto& lb : lbs_) lb->digest_state(d);
   for (auto& h : server_hosts_) h->stack().digest_state(d);
   for (auto& h : client_hosts_) h->stack().digest_state(d);

@@ -20,6 +20,7 @@
 #include "app/kv_server.h"
 #include "check/invariant_auditor.h"
 #include "core/inband_lb_policy.h"
+#include "fault/fault_layer.h"
 #include "lb/load_balancer.h"
 #include "lb/policies.h"
 #include "scenario/metrics.h"
@@ -63,6 +64,11 @@ struct ClusterRigConfig {
   SimTime inject_time = sec(10);
   SimTime inject_extra = ms(1);
   int victim = 0;
+
+  // Deterministic fault plan (loss / duplication / reordering / jitter /
+  // flaps / server faults). Empty (the default) disables the fault layer
+  // entirely; see fault/fault_plan.h.
+  FaultPlan fault;
 
   SimTime duration = sec(20);
   // Sample LB slot shares every this often (0 disables).
@@ -109,8 +115,11 @@ class ClusterRig {
   const ClusterRigConfig& config() const { return config_; }
 
   // The rig-wide invariant auditor with every subsystem hook registered
-  // (simulator, each LB, each host TCP stack).
+  // (simulator, each LB, each host TCP stack, the fault layer if present).
   InvariantAuditor& auditor() { return auditor_; }
+
+  // The fault layer, or null when config.fault is empty.
+  FaultLayer* fault() { return fault_.get(); }
 
   // Runs every audit hook immediately; returns violations found (aborts on
   // the first one in the default kAbort mode).
@@ -128,6 +137,9 @@ class ClusterRig {
   ClusterRigConfig config_;
   Simulator sim_;
   Network net_;
+  // Declared after net_ so it is destroyed first (it deregisters itself as
+  // the network's send interceptor on destruction).
+  std::unique_ptr<FaultLayer> fault_;
   std::vector<std::unique_ptr<TcpHost>> server_hosts_;
   std::vector<std::unique_ptr<KvServer>> servers_;
   std::vector<std::unique_ptr<TcpHost>> client_hosts_;

@@ -65,4 +65,14 @@ double percentile_in_window(const std::vector<Sample>& samples, SimTime from,
   return exact_percentile(std::move(vals), q);
 }
 
+std::size_t fault_events_in_window(const std::vector<FaultEvent>& events,
+                                   FaultEvent::Kind kind, SimTime from,
+                                   SimTime to) {
+  std::size_t n = 0;
+  for (const auto& ev : events) {
+    if (ev.kind == kind && ev.t >= from && ev.t < to) ++n;
+  }
+  return n;
+}
+
 }  // namespace inband

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "util/time.h"
 
 namespace inband {
@@ -39,5 +40,11 @@ double mean_in_window(const std::vector<Sample>& samples, SimTime from,
 // 0 when the window is empty.
 double percentile_in_window(const std::vector<Sample>& samples, SimTime from,
                             SimTime to, double q);
+
+// Number of executed fault events of `kind` with timestamp in [from, to).
+// `events` is a FaultLayer's timeline (FaultLayer::events()).
+std::size_t fault_events_in_window(const std::vector<FaultEvent>& events,
+                                   FaultEvent::Kind kind, SimTime from,
+                                   SimTime to);
 
 }  // namespace inband

@@ -264,6 +264,41 @@ TEST(Ensemble, PerFlowMemoryFootprintDocumented) {
   EXPECT_LE(bytes, 256u);
 }
 
+TEST(Ensemble, K1MatchesFixedTimeoutExactly) {
+  // Differential check: a degenerate ladder of one timeout can never move
+  // its choice (the cliff always selects index 0), so EnsembleTimeout must
+  // reduce to FixedTimeout with the same delta — identical samples on the
+  // same packets, including kNoTime on the rest.
+  constexpr SimTime kDelta = us(256);
+  EnsembleConfig cfg;
+  cfg.timeouts = {kDelta};
+  cfg.initial_choice = 0;
+  const EnsembleTimeout ensemble{cfg};
+  ASSERT_EQ(ensemble.k(), 1u);
+  const FixedTimeout fixed{kDelta};
+
+  // A bursty synthetic stream: batches of 1–8 packets with ~20us intra-batch
+  // gaps, separated by 100us–5ms idle periods, crossing many epochs.
+  Rng rng{20220815};
+  EnsembleState es;
+  FixedTimeoutState fs;
+  SimTime now = 0;
+  for (int batch = 0; batch < 2000; ++batch) {
+    now += static_cast<SimTime>(rng.uniform_u64(
+        static_cast<std::uint64_t>(us(100)),
+        static_cast<std::uint64_t>(ms(5))));
+    const int pkts = static_cast<int>(rng.uniform_u64(1, 8));
+    for (int p = 0; p < pkts; ++p) {
+      EXPECT_EQ(ensemble.on_packet(es, now), fixed.on_packet(fs, now))
+          << "batch " << batch << " pkt " << p << " t " << now;
+      now += static_cast<SimTime>(rng.uniform_u64(
+          0, static_cast<std::uint64_t>(us(40))));
+    }
+  }
+  EXPECT_EQ(es.chosen, 0u);
+  EXPECT_EQ(ensemble.current_delta(es), kDelta);
+}
+
 // --- flow state table ---
 
 TEST(FlowStateTable, CreatesAndReuses) {

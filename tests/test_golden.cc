@@ -1,0 +1,125 @@
+// Golden accuracy regression for the Fig. 2(a) estimator pipeline.
+//
+// Runs the backlogged rig at its paper configuration and replays the
+// LB-observed arrivals through FIXEDTIMEOUT, pinning the estimate quality
+// against the client's ground-truth RTT with fixed tolerances. A regression
+// anywhere in the pipeline — TCP timestamping, link jitter, the LB tap, the
+// estimator itself — moves these numbers and fails the test. Runs are
+// seeded and deterministic, so the slack in the tolerances is for humans
+// editing the rig, not for noise.
+//
+// The assertions encode the paper's Fig. 2(a) shape: a fixed timeout tuned
+// to the prevailing RTT is accurate (median within 10% of ground truth),
+// and the SAME timeout is badly wrong once the RTT steps away from it —
+// which is why the ensemble of Algorithm 2 exists.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fixed_timeout.h"
+#include "scenario/backlogged_rig.h"
+#include "scenario/metrics.h"
+
+namespace inband {
+namespace {
+
+// Between the intra-window transmission spread and the ~210us base RTT:
+// accurate before the step.
+constexpr SimTime kDeltaForBaseRtt = us(128);
+// Between the base RTT and the ~1.7ms stepped RTT: accurate after the step.
+constexpr SimTime kDeltaForSteppedRtt = us(512);
+
+class GoldenFig2a : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BackloggedRigConfig cfg;  // paper defaults; shortened run
+    cfg.duration = sec(3);
+    cfg.step_time = ms(1500);
+    cfg.step_extra = us(1500);
+    rig_ = new BackloggedRig{cfg};
+    rig_->run();
+  }
+  static void TearDownTestSuite() {
+    delete rig_;
+    rig_ = nullptr;
+  }
+
+  static std::vector<Sample> replay(SimTime delta) {
+    const FixedTimeout fixed{delta};
+    FixedTimeoutState fs;
+    std::vector<Sample> estimates;
+    for (const SimTime t : rig_->arrivals()) {
+      if (const SimTime v = fixed.on_packet(fs, t); v != kNoTime) {
+        estimates.push_back({t, v});
+      }
+    }
+    return estimates;
+  }
+
+  static double median(const std::vector<Sample>& s, SimTime a, SimTime b) {
+    return percentile_in_window(s, a, b, 0.5);
+  }
+
+  // Warm-up excluded before the step; step transient excluded after it.
+  static constexpr SimTime kBeforeFrom = ms(200);
+  static constexpr SimTime kBeforeTo = ms(1500);
+  static constexpr SimTime kAfterFrom = ms(1700);
+  static constexpr SimTime kAfterTo = sec(3);
+
+  static BackloggedRig* rig_;
+};
+
+BackloggedRig* GoldenFig2a::rig_ = nullptr;
+
+TEST_F(GoldenFig2a, RigProducesThePaperTraffic) {
+  ASSERT_GT(rig_->arrivals().size(), 50'000u);
+  ASSERT_GT(rig_->ground_truth().size(), 10'000u);
+  // Ground truth itself is where the paper puts it: ~210-250us base RTT,
+  // stepped up by ~1.5ms.
+  const double gt_before = median(rig_->ground_truth(), kBeforeFrom, kBeforeTo);
+  const double gt_after = median(rig_->ground_truth(), kAfterFrom, kAfterTo);
+  EXPECT_GT(gt_before, static_cast<double>(us(180)));
+  EXPECT_LT(gt_before, static_cast<double>(us(320)));
+  EXPECT_GT(gt_after, gt_before + static_cast<double>(us(1200)));
+}
+
+TEST_F(GoldenFig2a, WellTunedTimeoutMedianWithinTenPercent) {
+  // delta tuned for the base RTT, scored before the step.
+  const auto est_base = replay(kDeltaForBaseRtt);
+  const double med_base = median(est_base, kBeforeFrom, kBeforeTo);
+  const double gt_base = median(rig_->ground_truth(), kBeforeFrom, kBeforeTo);
+  ASSERT_GT(gt_base, 0.0);
+  EXPECT_NEAR(med_base / gt_base, 1.0, 0.10)
+      << "median estimate " << med_base << "ns vs truth " << gt_base << "ns";
+
+  // delta tuned for the stepped RTT, scored after the step.
+  const auto est_step = replay(kDeltaForSteppedRtt);
+  const double med_step = median(est_step, kAfterFrom, kAfterTo);
+  const double gt_step = median(rig_->ground_truth(), kAfterFrom, kAfterTo);
+  ASSERT_GT(gt_step, 0.0);
+  EXPECT_NEAR(med_step / gt_step, 1.0, 0.10)
+      << "median estimate " << med_step << "ns vs truth " << gt_step << "ns";
+
+  // Each tuned replay produces a healthy sample stream in its regime.
+  EXPECT_GT(est_base.size(), 1000u);
+  EXPECT_GT(est_step.size(), 200u);
+}
+
+TEST_F(GoldenFig2a, MistunedTimeoutFailsTheWayThePaperSays) {
+  // Too-high delta before the step merges batches: far too few samples and
+  // a median several times the true RTT.
+  const auto est_high = replay(kDeltaForSteppedRtt);
+  const double med_high = median(est_high, kBeforeFrom, kBeforeTo);
+  const double gt_base = median(rig_->ground_truth(), kBeforeFrom, kBeforeTo);
+  EXPECT_GT(med_high, 5.0 * gt_base);
+
+  // Too-low delta after the step over-segments windows: the median sample
+  // collapses to a fraction of the true RTT.
+  const auto est_low = replay(kDeltaForBaseRtt);
+  const double med_low = median(est_low, kAfterFrom, kAfterTo);
+  const double gt_step = median(rig_->ground_truth(), kAfterFrom, kAfterTo);
+  EXPECT_LT(med_low, 0.5 * gt_step);
+}
+
+}  // namespace
+}  // namespace inband
