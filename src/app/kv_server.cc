@@ -1,10 +1,10 @@
 #include "app/kv_server.h"
 
 #include <algorithm>
-#include <tuple>
 
 #include "util/assert.h"
 #include "util/logging.h"
+#include "util/sorted_view.h"
 
 namespace inband {
 
@@ -28,14 +28,10 @@ void KvServer::abort_all_connections() {
   // snapshot. Sort it by flow key: the set is keyed on heap pointers, and
   // the abort order fixes the order RSTs hit the wire — iterating in pointer
   // order would make crash runs irreproducible.
-  std::vector<TcpConnection*> conns{open_conns_.begin(), open_conns_.end()};
-  std::sort(conns.begin(), conns.end(), [](const TcpConnection* a,
-                                           const TcpConnection* b) {
-    const FlowKey& fa = a->key();
-    const FlowKey& fb = b->key();
-    return std::tie(fa.dst.addr, fa.dst.port, fa.src.port) <
-           std::tie(fb.dst.addr, fb.dst.port, fb.src.port);
-  });
+  const std::vector<TcpConnection*> conns = sorted_values(
+      open_conns_, [](const TcpConnection* a, const TcpConnection* b) {
+        return a->key() < b->key();
+      });
   for (auto* conn : conns) conn->abort();
 }
 

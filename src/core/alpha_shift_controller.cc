@@ -9,6 +9,7 @@ AlphaShiftController::AlphaShiftController(AlphaShiftConfig config)
   INBAND_ASSERT(config_.alpha > 0.0 && config_.alpha <= 1.0);
   INBAND_ASSERT(config_.rel_threshold >= 1.0);
   INBAND_ASSERT(config_.cooldown >= 0);
+  // detlint:allow(float-eq): 0.0 is the explicit "guard disabled" sentinel, assigned only from the same literal
   INBAND_ASSERT(config_.global_guard == 0.0 || config_.global_guard >= 1.0);
 }
 

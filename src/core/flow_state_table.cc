@@ -3,6 +3,7 @@
 #include "check/invariant_auditor.h"
 #include "check/state_digest.h"
 #include "util/assert.h"
+#include "util/sorted_view.h"
 
 namespace inband {
 
@@ -24,9 +25,17 @@ FlowState& FlowStateTable::get_or_create(const FlowKey& flow, SimTime now) {
 void FlowStateTable::erase(const FlowKey& flow) { map_.erase(flow); }
 
 void FlowStateTable::evict_stalest() {
-  auto victim = map_.begin();
+  // Ties on last_seen break on the flow key, never on hash-table position,
+  // so the evicted entry is reproducible run to run.
+  auto victim = map_.end();
+  // detlint:allow(unordered-iter): selects the unique minimum by a value-based key; the result is independent of visit order
   for (auto it = map_.begin(); it != map_.end(); ++it) {
-    if (it->second.last_seen < victim->second.last_seen) victim = it;
+    if (victim == map_.end() ||
+        it->second.last_seen < victim->second.last_seen ||
+        (it->second.last_seen == victim->second.last_seen &&
+         it->first < victim->first)) {
+      victim = it;
+    }
   }
   if (victim != map_.end()) {
     map_.erase(victim);
@@ -37,6 +46,7 @@ void FlowStateTable::evict_stalest() {
 void FlowStateTable::maybe_sweep(SimTime now) {
   if (now - last_sweep_ < config_.sweep_interval) return;
   last_sweep_ = now;
+  // detlint:allow(unordered-iter): erases the idle subset; expiry is decided per entry, independent of visit order
   for (auto it = map_.begin(); it != map_.end();) {
     if (now - it->second.last_seen >= config_.idle_timeout) {
       it = map_.erase(it);
@@ -53,7 +63,9 @@ void FlowStateTable::audit_invariants(AuditScope& scope,
   scope.check(map_.size() <= config_.max_entries, "capacity-bound",
               "flow state table exceeds max_entries");
   scope.check(last_sweep_ <= now, "sweep-clock-sane");
-  for (const auto& [flow, entry] : map_) {
+  // Sorted snapshot: audit failure messages come out in flow-key order.
+  for (const auto* e : sorted_entries(map_)) {
+    const auto& [flow, entry] = *e;
     scope.check(entry.last_seen != kNoTime && entry.last_seen <= now,
                 "last-seen-in-past", format_flow(flow));
     scope.check(entry.state.min_sample == kNoTime ||
@@ -65,6 +77,7 @@ void FlowStateTable::audit_invariants(AuditScope& scope,
 
 void FlowStateTable::digest_state(StateDigest& digest) const {
   UnorderedDigest entries;
+  // detlint:allow(unordered-iter): per-entry digests fold through the commutative UnorderedDigest combiner
   for (const auto& [flow, entry] : map_) {
     StateDigest e;
     e.mix(hash_flow(flow));

@@ -12,6 +12,7 @@ HandshakeRttEstimator::HandshakeRttEstimator(HandshakeRttConfig config)
 void HandshakeRttEstimator::maybe_sweep(SimTime now) {
   if (now - last_sweep_ < config_.pending_timeout) return;
   last_sweep_ = now;
+  // detlint:allow(unordered-iter): erases the timed-out subset; expiry is decided per entry, independent of visit order
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (now - it->second >= config_.pending_timeout) {
       it = pending_.erase(it);
@@ -36,9 +37,15 @@ SimTime HandshakeRttEstimator::on_packet(const Packet& pkt, SimTime now) {
     if (pending_.size() > config_.max_pending) {
       // Evict the oldest pending handshake (SYN floods must not grow this
       // table; a production LB would use a SYN-cookie-style fixed slab).
-      auto victim = pending_.begin();
+      // Ties on the SYN timestamp break on the flow key, never on
+      // hash-table position — same-tick SYN floods evict reproducibly.
+      auto victim = pending_.end();
+      // detlint:allow(unordered-iter): selects the unique minimum by a value-based key; the result is independent of visit order
       for (auto it2 = pending_.begin(); it2 != pending_.end(); ++it2) {
-        if (it2->second < victim->second) victim = it2;
+        if (victim == pending_.end() || it2->second < victim->second ||
+            (it2->second == victim->second && it2->first < victim->first)) {
+          victim = it2;
+        }
       }
       pending_.erase(victim);
     }

@@ -226,6 +226,7 @@ void InbandLbPolicy::digest_state(StateDigest& digest) const {
     digest.mix_double(s.best_score_ns);
   }
   UnorderedDigest floors;
+  // detlint:allow(unordered-iter): per-entry digests fold through the commutative UnorderedDigest combiner
   for (const auto& [addr, floor] : client_floor_) {
     StateDigest e;
     e.mix_u32(addr);

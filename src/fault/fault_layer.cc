@@ -6,6 +6,7 @@
 #include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
+#include "util/sorted_view.h"
 
 namespace inband {
 
@@ -168,14 +169,15 @@ void FaultLayer::audit_invariants(AuditScope& scope) const {
                   ", counted drops: " + std::to_string(drops));
 
   // A packet the layer dropped must never also have been forwarded: iterate
-  // the smaller set against the larger.
+  // the smaller set against the larger. The sorted snapshot fixes which
+  // offending pkt_id a failing audit names first.
   const auto& small = dropped_ids_.size() <= touched_forwarded_ids_.size()
                           ? dropped_ids_
                           : touched_forwarded_ids_;
   const auto& large = dropped_ids_.size() <= touched_forwarded_ids_.size()
                           ? touched_forwarded_ids_
                           : dropped_ids_;
-  for (const std::uint64_t id : small) {
+  for (const std::uint64_t id : sorted_values(small)) {
     if (!scope.check(large.find(id) == large.end(),
                      "dropped-xor-delivered",
                      "pkt_id " + std::to_string(id) +
@@ -248,9 +250,11 @@ void FaultLayer::digest_state(StateDigest& digest) const {
     digest.mix_i64(ev.index);
   }
   UnorderedDigest dropped;
+  // detlint:allow(unordered-iter): per-id hashes fold through the commutative UnorderedDigest combiner
   for (const std::uint64_t id : dropped_ids_) dropped.add(splitmix64(id));
   dropped.mix_into(digest);
   UnorderedDigest touched;
+  // detlint:allow(unordered-iter): per-id hashes fold through the commutative UnorderedDigest combiner
   for (const std::uint64_t id : touched_forwarded_ids_) {
     touched.add(splitmix64(id));
   }

@@ -3,6 +3,7 @@
 #include "check/invariant_auditor.h"
 #include "check/state_digest.h"
 #include "util/assert.h"
+#include "util/sorted_view.h"
 
 namespace inband {
 
@@ -49,19 +50,25 @@ bool ConnTracker::mark_closing(const FlowKey& flow, SimTime now) {
 }
 
 void ConnTracker::evict_one(SimTime now) {
-  // Prefer an expired or closing entry; otherwise evict the stalest. A full
-  // scan is acceptable because eviction only happens at capacity, which the
-  // experiments never approach; production tables use clocked buckets.
+  // Prefer an expired entry; otherwise evict the stalest. The victim is the
+  // unique minimum by (not-expired, last_seen, flow key) — ties on last_seen
+  // break on the flow key, never on hash-table position, so the evicted
+  // entry is reproducible run to run. A full scan is acceptable because
+  // eviction only happens at capacity, which the experiments never approach;
+  // production tables use clocked buckets.
+  const auto better = [&](const auto& a, const auto& b) {
+    const bool a_exp = expired(a.second, now);
+    const bool b_exp = expired(b.second, now);
+    if (a_exp != b_exp) return a_exp;
+    if (a.second.last_seen != b.second.last_seen) {
+      return a.second.last_seen < b.second.last_seen;
+    }
+    return a.first < b.first;
+  };
   auto victim = map_.end();
+  // detlint:allow(unordered-iter): selects the unique minimum by a value-based key; the result is independent of visit order
   for (auto it = map_.begin(); it != map_.end(); ++it) {
-    if (expired(it->second, now)) {
-      victim = it;
-      break;
-    }
-    if (victim == map_.end() ||
-        it->second.last_seen < victim->second.last_seen) {
-      victim = it;
-    }
+    if (victim == map_.end() || better(*it, *victim)) victim = it;
   }
   if (victim != map_.end()) {
     map_.erase(victim);
@@ -72,6 +79,7 @@ void ConnTracker::evict_one(SimTime now) {
 void ConnTracker::sweep(SimTime now) {
   if (now - last_sweep_ < config_.sweep_interval) return;
   last_sweep_ = now;
+  // detlint:allow(unordered-iter): erases the expired subset; expiry is decided per entry, independent of visit order
   for (auto it = map_.begin(); it != map_.end();) {
     if (expired(it->second, now)) {
       it = map_.erase(it);
@@ -88,7 +96,10 @@ void ConnTracker::audit_invariants(AuditScope& scope,
   scope.check(map_.size() <= config_.max_entries, "capacity-bound",
               "conntrack exceeds max_entries");
   scope.check(last_sweep_ <= now, "sweep-clock-sane");
-  for (const auto& [flow, entry] : map_) {
+  // Sorted snapshot: audit failure messages come out in flow-key order, so
+  // a failing run reports identically across reruns.
+  for (const auto* e : sorted_entries(map_)) {
+    const auto& [flow, entry] = *e;
     if (!scope.check(entry.backend != kNoBackend, "backend-assigned",
                      format_flow(flow))) {
       continue;
@@ -112,6 +123,7 @@ void ConnTracker::audit_invariants(AuditScope& scope,
 
 void ConnTracker::digest_state(StateDigest& digest) const {
   UnorderedDigest entries;
+  // detlint:allow(unordered-iter): per-entry digests fold through the commutative UnorderedDigest combiner
   for (const auto& [flow, entry] : map_) {
     StateDigest e;
     e.mix(hash_flow(flow));
@@ -131,6 +143,7 @@ void ConnTracker::digest_state(StateDigest& digest) const {
 
 std::vector<std::size_t> ConnTracker::connections_per_backend() const {
   std::vector<std::size_t> out;
+  // detlint:allow(unordered-iter): commutative per-backend counting; the histogram is independent of visit order
   for (const auto& [flow, entry] : map_) {
     (void)flow;
     if (entry.closing) continue;

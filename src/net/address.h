@@ -23,6 +23,9 @@ struct Endpoint {
   std::uint16_t port = 0;
 
   friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  // Total order by (addr, port): the value-based tie-breaker deterministic
+  // snapshots of flow-keyed tables sort with (never pointer identity).
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
 };
 
 std::string format_endpoint(const Endpoint& ep);

@@ -23,6 +23,11 @@ struct FlowKey {
   IpProto proto = IpProto::kTcp;
 
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  // Total order by (src, dst, proto). Flow-keyed tables are unordered for
+  // speed; whenever their contents must be visited in a reproducible order
+  // (audits, crash-abort sweeps), this ordering is the sort key — see
+  // util/sorted_view.h and DESIGN.md §9.
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 
   // The same connection seen from the opposite direction.
   FlowKey reversed() const { return FlowKey{dst, src, proto}; }

@@ -4,6 +4,7 @@
 #include "check/state_digest.h"
 #include "util/assert.h"
 #include "util/logging.h"
+#include "util/sorted_view.h"
 
 namespace inband {
 
@@ -23,6 +24,7 @@ std::uint32_t TcpStack::make_isn() {
 }
 
 bool TcpStack::port_in_use(std::uint16_t port) const {
+  // detlint:allow(unordered-iter): pure existence test; the answer is independent of visit order
   for (const auto& [key, conn] : conns_) {
     (void)conn;
     if (key.src.port == port) return true;
@@ -122,7 +124,10 @@ void TcpStack::reap(const FlowKey& key) {
 }
 
 void TcpStack::audit_invariants(AuditScope& scope) const {
-  for (const auto& [key, conn] : conns_) {
+  // Sorted snapshot: per-connection audits run (and report failures) in
+  // flow-key order, so a failing run reports identically across reruns.
+  for (const auto* e : sorted_entries(conns_)) {
+    const auto& [key, conn] = *e;
     if (!scope.check(conn != nullptr, "demux-entry-live", format_flow(key))) {
       continue;
     }
@@ -137,6 +142,7 @@ void TcpStack::audit_invariants(AuditScope& scope) const {
 
 void TcpStack::digest_state(StateDigest& digest) const {
   UnorderedDigest conns;
+  // detlint:allow(unordered-iter): per-connection digests fold through the commutative UnorderedDigest combiner
   for (const auto& [key, conn] : conns_) {
     StateDigest e;
     conn->digest_state(e);

@@ -1,0 +1,52 @@
+// Deterministic snapshots of unordered containers.
+//
+// std::unordered_{map,set} iteration order depends on hash-table history
+// (insertion/erase interleaving, rehash points) and is therefore not part of
+// any determinism contract in this codebase; detlint (tools/detlint) flags
+// every raw iteration of one. When code must *visit* such a container —
+// audits that emit ordered failure messages, crash sweeps that put RSTs on
+// the wire, anything whose effects depend on visit order — it goes through
+// these helpers, which materialize a snapshot sorted by a value-based key.
+// These are the blessed entry points of the unordered-iter rule (DESIGN.md
+// §9): a call site using them needs no waiver.
+//
+// Cost is one O(n) pass plus an O(n log n) sort per call; every current
+// caller is a cold path (invariant audits, digest preparation, crash
+// teardown), never per-packet.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace inband {
+
+// Pointers to a map's entries, ordered by `less` on the key. The pointers
+// borrow from `m`: do not mutate the map while holding the snapshot.
+template <typename Map, typename KeyLess = std::less<>>
+std::vector<const typename Map::value_type*> sorted_entries(
+    const Map& m, KeyLess less = {}) {
+  std::vector<const typename Map::value_type*> out;
+  out.reserve(m.size());
+  for (const auto& entry : m) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [&less](const auto* a, const auto* b) {
+              return less(a->first, b->first);
+            });
+  return out;
+}
+
+// Copies of a set's values, ordered by `less`. For sets of pointers pass a
+// comparator over the pointees — sorting raw pointer values is exactly the
+// hazard this header exists to prevent (detlint rule `pointer-order`).
+template <typename Set, typename Less = std::less<>>
+std::vector<typename Set::value_type> sorted_values(const Set& s,
+                                                    Less less = {}) {
+  std::vector<typename Set::value_type> out;
+  out.reserve(s.size());
+  for (const auto& v : s) out.push_back(v);
+  std::sort(out.begin(), out.end(), less);
+  return out;
+}
+
+}  // namespace inband

@@ -1,0 +1,43 @@
+// detlint — determinism-hazard linter for the in-band LB reproduction.
+//
+//   detlint [--json] [--list-rules] <file-or-dir>...
+//
+// Exit codes: 0 = clean (waived findings allowed), 1 = unwaived findings or
+// unreadable inputs, 2 = usage error. See tools/detlint/README.md and
+// DESIGN.md §9 for the rule taxonomy and waiver policy.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scanner.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : detlint::rule_names()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: detlint [--json] [--list-rules] <file-or-dir>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "detlint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: detlint [--json] [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+  const detlint::ScanReport report = detlint::scan(paths);
+  return json ? detlint::render_json(report, std::cout)
+              : detlint::render_text(report, std::cout);
+}

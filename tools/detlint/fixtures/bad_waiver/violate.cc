@@ -1,0 +1,24 @@
+// Fixture: waiver-hygiene true positives — waiver markers that do not
+// parse, lack a reason, or name unknown rules are findings themselves
+// (`bad-waiver`), and a waiver that suppresses nothing is reported unused.
+#include <cstdint>
+#include <unordered_map>
+
+struct T {
+  std::unordered_map<std::uint64_t, int> m_;
+
+  std::uint64_t broken_waivers() const {
+    std::uint64_t n = 0;
+    // detlint:allow(unordered-iter)
+    for (const auto& [k, v] : m_) n += static_cast<std::uint64_t>(v);
+    // detlint:allow(unordered-iter):
+    for (const auto& [k, v] : m_) n += static_cast<std::uint64_t>(v);
+    // detlint:allow(no-such-rule): reason text
+    for (const auto& [k, v] : m_) n += static_cast<std::uint64_t>(v);
+    return n;
+  }
+
+  // An unused waiver: nothing on this or the next line violates anything.
+  // detlint:allow(wall-clock): stale justification left behind
+  std::size_t size() const { return m_.size(); }
+};

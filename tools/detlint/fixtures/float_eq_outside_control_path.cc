@@ -1,0 +1,5 @@
+// Fixture: float ==/!= OUTSIDE lb/ and core/ path components — the
+// float-eq rule is scoped to control paths and must stay quiet here.
+bool bench_tolerance(double measured, double expected) {
+  return measured == expected;  // no finding: not a control path
+}

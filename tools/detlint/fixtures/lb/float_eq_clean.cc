@@ -1,0 +1,22 @@
+// Fixture (control path — under lb/): float comparisons done right, and
+// integer comparisons that must not trip the rule.
+#include <cmath>
+#include <cstdint>
+
+bool close_enough(double a, double b) {
+  return std::abs(a - b) < 1e-9;  // epsilon compare
+}
+
+bool threshold_crossed(double score, double limit) {
+  return score > limit;  // ordering comparisons are fine
+}
+
+bool same_count(std::uint64_t lhs, std::uint64_t rhs) {
+  return lhs == rhs;  // integer equality is fine
+}
+
+// operator== declarations are not comparisons.
+struct BackendId {
+  int v;
+  friend bool operator==(const BackendId&, const BackendId&) = default;
+};

@@ -1,0 +1,17 @@
+// Fixture (control path — under lb/): floating-point equality true
+// positives.
+struct Score {
+  double value = 0.0;
+};
+
+bool same_score(const Score& a, const Score& b) {
+  return a.value == b.value;  // violation: exact double compare
+}
+
+bool is_unset(double weight) {
+  return weight == -1.0;  // violation: literal compare
+}
+
+bool drifted(float ewma, float target) {
+  return ewma != target;  // violation: float !=
+}

@@ -1,0 +1,5 @@
+// Fixture (control path — under lb/): a waived float-eq finding.
+bool guard_disabled(double guard) {
+  // detlint:allow(float-eq): 0.0 is the explicit "disabled" sentinel, assigned only from the same literal
+  return guard == 0.0;
+}

@@ -1,0 +1,19 @@
+// Fixture: pointer containers ordered by value-based keys — no findings.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Backend {
+  int id;
+};
+
+// Sorting pointers *by a field of the pointee* is the sanctioned pattern.
+void sort_backends(std::vector<Backend*>& pool) {
+  std::sort(pool.begin(), pool.end(),
+            [](const Backend* a, const Backend* b) { return a->id < b->id; });
+}
+
+// Value elements sort fine without a comparator.
+void sort_ids(std::vector<std::uint64_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+}

@@ -1,0 +1,29 @@
+// Fixture: pointer-order true positives — addresses used as ordering or
+// digest inputs.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+struct Backend {
+  int id;
+};
+
+struct Digest {
+  void mix(std::uint64_t) {}
+};
+
+// Comparator-less sort of pointer elements: address order.
+void sort_backends(std::vector<Backend*>& pool) {
+  std::sort(pool.begin(), pool.end());  // violation: pointer sort
+}
+
+// Hashing an address into a digest.
+void digest_backend(Digest& d, const Backend* b) {
+  d.mix(reinterpret_cast<std::uintptr_t>(b));  // violation: address digest
+}
+
+// std::hash over a pointer type hashes the address.
+std::size_t hash_backend(const Backend* b) {
+  return std::hash<const Backend*>{}(b);  // violation: pointer hash
+}

@@ -1,0 +1,12 @@
+// Fixture: a waived pointer-order finding (e.g. a debug-only allocation
+// tracer whose output never reaches digests or the wire).
+#include <cstdint>
+
+struct Digest {
+  void mix(std::uint64_t) {}
+};
+
+void trace_alloc(Digest& d, const void* p) {
+  // detlint:allow(pointer-order): debug-only allocation tracer; output never feeds digests or packet order
+  d.mix(reinterpret_cast<std::uintptr_t>(p));
+}

@@ -1,0 +1,43 @@
+// Fixture: unordered containers used safely — no findings expected.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+// Modeled on util/sorted_view.h: template params are not tracked names.
+template <typename Map>
+std::vector<const typename Map::value_type*> snapshot(const Map& m) {
+  std::vector<const typename Map::value_type*> out;
+  out.reserve(m.size());
+  for (const auto& entry : m) out.push_back(&entry);
+  return out;
+}
+
+struct Table {
+  std::unordered_map<std::uint64_t, int> map_;
+  std::map<std::uint64_t, int> ordered_;
+
+  // Point lookups never depend on bucket order.
+  int get(std::uint64_t k) const {
+    const auto it = map_.find(k);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  // Iterating the snapshot helper's result, not the container.
+  std::uint64_t sum_sorted() const {
+    std::uint64_t n = 0;
+    for (const auto* e : snapshot(map_)) {
+      n += static_cast<std::uint64_t>(e->second);
+    }
+    return n;
+  }
+
+  // std::map iteration is ordered and fine.
+  std::uint64_t sum_ordered() const {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : ordered_) n += static_cast<std::uint64_t>(v);
+    return n;
+  }
+
+  std::size_t size() const { return map_.size(); }
+};

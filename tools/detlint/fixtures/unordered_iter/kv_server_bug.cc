@@ -1,0 +1,34 @@
+// Fixture: replica of the PR 2 KvServer::abort_all_connections bug, found
+// by hand back then — detlint must catch it mechanically. The connection set
+// is keyed on heap pointers; aborting while iterating it puts RSTs on the
+// wire in pointer order, which varies run to run (ASLR, allocation history),
+// so crash runs were not replayable. The shipped fix snapshots the set and
+// sorts by flow key (util/sorted_view.h + FlowKey::operator<=>).
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+struct Conn {
+  unsigned key;
+  void abort() {}
+};
+
+struct KvServerReplica {
+  std::unordered_set<Conn*> open_conns_;
+
+  // The original bug: abort order = hash-bucket order of pointer keys.
+  void abort_all_connections() {
+    for (auto* conn : open_conns_) {  // unordered-iter: the PR 2 bug
+      conn->abort();
+    }
+  }
+
+  // A tempting half-fix that is still wrong: snapshotting, then sorting the
+  // raw pointers — the order is now stable within a run but still tracks
+  // allocation addresses across runs.
+  void abort_all_sorted_by_pointer() {
+    std::vector<Conn*> conns{open_conns_.begin(), open_conns_.end()};
+    std::sort(conns.begin(), conns.end());  // pointer-order: address sort
+    for (auto* conn : conns) conn->abort();
+  }
+};

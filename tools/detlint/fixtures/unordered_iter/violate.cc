@@ -1,0 +1,46 @@
+// Fixture: every construct here is an unordered-iter true positive.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Digest {
+  void mix(std::uint64_t) {}
+};
+
+struct Table {
+  std::unordered_map<std::uint64_t, int> map_;
+  std::unordered_set<std::uint64_t> ids_;
+
+  // Range-for over an unordered map: emission order follows bucket order.
+  std::uint64_t emit_all(Digest& d) const {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : map_) {  // line 18: violation
+      d.mix(k);
+      n += static_cast<std::uint64_t>(v);
+    }
+    return n;
+  }
+
+  // Explicit iterator walk.
+  int first_value() const {
+    auto it = map_.begin();  // line 26: violation
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  // Alias of an unordered member picked by a ternary still iterates it.
+  std::uint64_t sum_smaller(const std::unordered_set<std::uint64_t>& other) {
+    const auto& small = ids_.size() < other.size() ? ids_ : other;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t id : small) sum += id;  // line 34: violation
+    return sum;
+  }
+};
+
+// Type alias does not launder the container.
+using FlowMap = std::unordered_map<std::uint64_t, double>;
+
+double alias_total(const FlowMap& flows) {
+  double total = 0;
+  for (const auto& [k, v] : flows) total += v;  // line 44: violation
+  return total;
+}

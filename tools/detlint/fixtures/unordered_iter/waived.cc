@@ -1,0 +1,24 @@
+// Fixture: unordered iterations carrying justified waivers — findings are
+// produced but marked waived, so the file passes.
+#include <cstdint>
+#include <unordered_map>
+
+struct Counters {
+  std::unordered_map<std::uint64_t, std::uint64_t> hits_;
+
+  // Commutative accumulation: the total is independent of visit order.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    // detlint:allow(unordered-iter): commutative sum; order-independent
+    for (const auto& [k, v] : hits_) sum += v;
+    return sum;
+  }
+
+  // Same-line waiver form.
+  bool any_nonzero() const {
+    for (const auto& [k, v] : hits_) {  // detlint:allow(unordered-iter): existence test; order-independent
+      if (v != 0) return true;
+    }
+    return false;
+  }
+};

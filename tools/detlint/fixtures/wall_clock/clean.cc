@@ -1,0 +1,30 @@
+// Fixture: deterministic time and randomness — no findings. Mirrors the
+// project idiom: time comes from the Simulator, randomness from seeded
+// counter-based engines.
+#include <cstdint>
+
+using SimTime = std::int64_t;
+
+struct Simulator {
+  SimTime now() const { return t_; }
+  SimTime t_ = 0;
+};
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_{seed} {}
+  std::uint64_t operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return state_;
+  }
+  std::uint64_t state_;
+};
+
+// Identifiers merely *containing* hazard substrings must not trip the rule.
+struct timer_config {
+  SimTime timeout = 0;
+  int clock_domain = 0;  // plain member, not clock()
+};
+
+SimTime sample(Simulator& sim, Rng& rng) {
+  return sim.now() + static_cast<SimTime>(rng() % 1000);
+}

@@ -1,0 +1,28 @@
+// Fixture: wall-clock / entropy true positives.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())  // violation
+      .count();
+}
+
+long mono_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // violation
+}
+
+int roll() {
+  return std::rand() % 6;  // violation
+}
+
+unsigned reseed() {
+  std::random_device rd;  // violation
+  return rd();
+}
+
+long stamp() {
+  return static_cast<long>(time(nullptr));  // violation
+}

@@ -1,0 +1,11 @@
+// Fixture: a waived wall-clock finding — wall time is legitimate in
+// operator tooling that reports real elapsed time, outside any replayed
+// state.
+#include <chrono>
+
+double harness_elapsed_seconds(
+    std::chrono::steady_clock::time_point start) {  // detlint:allow(wall-clock): harness wall-time report; never enters simulated state or digests
+  // detlint:allow(wall-clock): harness wall-time report; never enters simulated state or digests
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}

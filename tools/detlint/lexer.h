@@ -1,0 +1,58 @@
+// Minimal C++ tokenizer for detlint.
+//
+// detlint's rules are lexical: they match token patterns, not an AST. The
+// lexer therefore only needs to be right about the things that would corrupt
+// a token stream — comments, string/char literals (including raw strings and
+// digit separators), and preprocessor directives — and to preserve line
+// numbers so findings and waivers anchor correctly. Comments are not tokens;
+// they are collected separately because waivers
+// (`// detlint:allow(<rule>): <reason>`) live in them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace detlint {
+
+enum class TokenKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-number: integers, floats, hex, digit separators
+  kString,   // "..." and R"(...)" (text excludes quotes)
+  kCharLit,  // '...'
+  kPunct,    // operators/punctuation, longest-match for multi-char ops
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based
+};
+
+struct Comment {
+  int line;          // 1-based line the comment starts on
+  std::string text;  // contents without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  // Targets of `#include "..."` directives (quoted form only), in order.
+  // detlint harvests member declarations from directly-included project
+  // headers so hazards in a .cc over members declared in its .h resolve.
+  std::vector<std::string> includes;
+};
+
+// Tokenizes `source`. Never fails: unterminated literals are closed at EOF,
+// unknown bytes become single-char punctuation. Preprocessor directives are
+// consumed wholesale (honoring line continuations) and produce no tokens —
+// detlint's rules target code, not macros, and `#include <...>` would
+// otherwise read as comparison operators.
+LexResult lex(std::string_view source);
+
+// True when the number token spells a floating-point literal (has a decimal
+// point, a decimal exponent, a hex-float exponent, or an f/F suffix).
+bool is_float_literal(const Token& tok);
+
+}  // namespace detlint

@@ -1,0 +1,81 @@
+// detlint rule engine: determinism-hazard patterns over a token stream.
+//
+// Four rule classes (DESIGN.md §9 "Determinism hazard taxonomy"):
+//
+//   unordered-iter  iteration over std::unordered_{map,set,multimap,multiset}
+//                   (range-for, .begin()/.cbegin() family, std::begin). The
+//                   rule over-approximates on purpose: a lexical pass cannot
+//                   prove a loop body order-independent, so *every* iteration
+//                   of an unordered container must either go through the
+//                   blessed sorted-snapshot helpers (util/sorted_view.h) or
+//                   carry a justified waiver.
+//   pointer-order   pointer values used as ordering or digest inputs:
+//                   comparator-less sort of pointer-element containers,
+//                   std::hash over pointer types, reinterpret_cast of a
+//                   pointer to an integer type.
+//   wall-clock      wall-clock / entropy APIs (system_clock, steady_clock,
+//                   time(nullptr), std::rand, random_device, ...) anywhere in
+//                   scanned code; simulation code must take time from the
+//                   Simulator and randomness from seeded Rng engines.
+//   float-eq        floating-point ==/!= in control paths (applied to files
+//                   under lb/ and core/ only).
+//
+// Waivers: `// detlint:allow(<rule>[,<rule>...]): <reason>` on the finding's
+// line or the line directly above waives matching findings. The reason is
+// mandatory; a detlint:allow marker that does not parse or lacks a reason is
+// itself a finding (`bad-waiver`) and cannot be waived.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace detlint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool waived = false;
+  std::string waiver_reason;
+};
+
+struct UnusedWaiver {
+  int line = 0;
+  std::string rules;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::vector<UnusedWaiver> unused_waivers;
+};
+
+// All rule names, for CLI validation and --list-rules.
+const std::vector<std::string>& rule_names();
+
+// Declarations harvested from one file, importable into the analysis of
+// files that #include it.
+struct HarvestedDecls {
+  std::vector<std::string> unordered;           // unordered-container names
+  std::vector<std::string> ordered_overrides;   // names with ordered types
+  std::vector<std::string> pointer_containers;  // vector<T*>-style names
+  std::vector<std::string> floats;              // double/float names
+};
+
+// Harvests declarations only (no findings). Used by the scanner to resolve
+// members declared in a directly-included header but used in a .cc.
+HarvestedDecls harvest_decls(std::string_view source);
+
+// Analyzes one file's source. `display_path` is echoed into findings;
+// `control_path` enables the float-eq rule (lb/ and core/ files);
+// `imported` carries declarations harvested from directly-included project
+// headers (may be null). A name locally declared with an ordered container
+// type shadows an imported unordered name of the same spelling.
+FileReport analyze_source(const std::string& display_path,
+                          std::string_view source, bool control_path,
+                          const HarvestedDecls* imported = nullptr);
+
+}  // namespace detlint

@@ -1,0 +1,37 @@
+// File discovery, rule dispatch, and report rendering for detlint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace detlint {
+
+struct ScanReport {
+  std::vector<Finding> findings;             // across all files, sorted
+  std::vector<std::string> files_scanned;    // sorted display paths
+  std::vector<UnusedWaiver> unused_waivers;  // with .rules, anchored per file
+  std::vector<std::string> unused_waiver_files;  // parallel to unused_waivers
+  std::vector<std::string> errors;           // unreadable paths etc.
+
+  std::size_t unwaived() const;
+  std::size_t waived() const;
+};
+
+// Scans every C++ source file (.h .hh .hpp .cc .cpp .cxx) under `paths`
+// (files or directories, recursed). Files are processed in sorted path order
+// so the report itself is deterministic. The float-eq rule is enabled for
+// files with an `lb` or `core` path component.
+ScanReport scan(const std::vector<std::string>& paths);
+
+// Human-readable report. Returns the process exit code: 0 when no unwaived
+// findings, 1 otherwise.
+int render_text(const ScanReport& report, std::ostream& os);
+
+// Machine-readable JSON report (schema documented in README.md). Same exit
+// code contract as render_text.
+int render_json(const ScanReport& report, std::ostream& os);
+
+}  // namespace detlint
