@@ -4,8 +4,16 @@
 // google-benchmark binary: measures the per-packet cost of Algorithm 1, the
 // k=7 ensemble of Algorithm 2, the per-flow state lookup, conntrack, Maglev
 // lookup, the whole InbandLbPolicy::on_packet path, and Maglev table builds.
+//
+// The *_Legacy variants run the pre-pool reference implementations from
+// check/reference_models.h on the identical op sequence, so a single run
+// reports the slab-pool speedup as a same-machine ratio. Hot-loop benchmarks
+// also report "allocs_per_iter" via the counting allocator linked into this
+// binary (0 in steady state is the contract; the counter reads 0 with a
+// "counting" flag when a sanitizer owns operator new).
 #include <benchmark/benchmark.h>
 
+#include "check/reference_models.h"
 #include "core/ensemble_timeout.h"
 #include "core/fixed_timeout.h"
 #include "core/handshake_rtt.h"
@@ -13,9 +21,30 @@
 #include "core/inband_lb_policy.h"
 #include "lb/conntrack.h"
 #include "lb/maglev.h"
+#include "sim/event_queue.h"
+#include "util/alloc_counter.h"
 
 namespace inband {
 namespace {
+
+// Tracks heap allocations across the timed loop and attaches per-iteration
+// counters. Call arm() immediately before the loop (after setup allocations)
+// and report() after it.
+class AllocMeter {
+ public:
+  void arm() { before_ = allocs::snapshot(); }
+  void report(benchmark::State& state) {
+    const auto d = allocs::delta(before_, allocs::snapshot());
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["allocs_per_iter"] = benchmark::Counter(
+        iters > 0 ? static_cast<double>(d.count) / iters : 0.0);
+    state.counters["alloc_counting"] =
+        benchmark::Counter(allocs::counting_enabled() ? 1.0 : 0.0);
+  }
+
+ private:
+  allocs::Snapshot before_;
+};
 
 BackendPool make_pool(int n) {
   BackendPool pool;
@@ -184,6 +213,163 @@ void BM_InbandPolicy_OnPacket_ClientFloor(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InbandPolicy_OnPacket_ClientFloor);
+
+// --- Event-queue benchmarks: slab pool vs the legacy map-of-std::function
+// queue, identical op sequences. ---------------------------------------------
+
+// The dominant simulator event is a link delivery capturing a Packet by
+// value; this payload reproduces that size so the benchmarks measure
+// callback storage, not just heap bookkeeping.
+struct DeliveryPayload {
+  unsigned char packet_bytes[136];
+  std::uint64_t* fired;
+  void operator()() const { ++*fired; }
+};
+
+// Fires one event through whichever interface the queue offers: the fused
+// in-place fire_next (slab pool) or pop+invoke (legacy).
+template <typename Q>
+SimTime fire_one(Q& q) {
+  if constexpr (requires { q.fire_next([](SimTime) {}); }) {
+    return q.fire_next([](SimTime) {});
+  } else {
+    auto ev = q.pop();
+    ev.fn();
+    return ev.t;
+  }
+}
+
+// Steady state: a fixed-size pending set; each iteration pops the earliest
+// event and schedules a replacement — Simulator::step's inner cycle.
+template <typename Q>
+void eq_steady_state(benchmark::State& state) {
+  Q q;
+  std::uint64_t fired = 0;
+  std::uint64_t x = 0x2545F4914F6CDD1DULL;  // xorshift64
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  DeliveryPayload payload{};
+  payload.fired = &fired;
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < pending; ++i) {
+    q.push(static_cast<SimTime>(next() % 100000), payload);
+  }
+  SimTime t = 0;
+  AllocMeter meter;
+  meter.arm();
+  for (auto _ : state) {
+    t = fire_one(q);
+    q.push(t + 1 + static_cast<SimTime>(next() % 1000), payload);
+  }
+  meter.report(state);
+  state.SetItemsProcessed(state.iterations());
+  if (fired == 0) std::abort();  // keep the loop observable
+}
+
+void BM_EventQueue_SteadyState(benchmark::State& state) {
+  eq_steady_state<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_SteadyState)->Arg(128)->Arg(4096);
+
+void BM_EventQueue_SteadyState_Legacy(benchmark::State& state) {
+  eq_steady_state<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_SteadyState_Legacy)->Arg(128)->Arg(4096);
+
+// Cancel-heavy: per iteration, push 4 timers, cancel 2 (one fresh, one mid-
+// heap from an earlier round), pop 2 — TCP retransmit/delack timer churn.
+template <typename Q>
+void eq_cancel_heavy(benchmark::State& state) {
+  Q q;
+  std::uint64_t fired = 0;
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  std::vector<EventId> backlog;
+  backlog.reserve(1024);
+  SimTime floor = 0;
+  AllocMeter meter;
+  meter.arm();
+  for (auto _ : state) {
+    EventId fresh = kInvalidEventId;
+    for (int k = 0; k < 4; ++k) {
+      fresh = q.push(floor + 1 + static_cast<SimTime>(next() % 5000),
+                     [&fired] { ++fired; });
+      backlog.push_back(fresh);
+    }
+    q.cancel(fresh);
+    backlog.pop_back();
+    if (!backlog.empty()) {
+      const std::size_t victim = next() % backlog.size();
+      q.cancel(backlog[victim]);  // may already have fired: stale-handle path
+      backlog[victim] = backlog.back();
+      backlog.pop_back();
+    }
+    for (int k = 0; k < 2 && !q.empty(); ++k) floor = fire_one(q);
+    if (backlog.size() > 512) {
+      backlog.erase(backlog.begin(), backlog.begin() + 256);
+    }
+  }
+  meter.report(state);
+  state.SetItemsProcessed(state.iterations() * 8);  // pushes+cancels+pops
+}
+
+void BM_EventQueue_CancelHeavy(benchmark::State& state) {
+  eq_cancel_heavy<EventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_CancelHeavy);
+
+void BM_EventQueue_CancelHeavy_Legacy(benchmark::State& state) {
+  eq_cancel_heavy<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_CancelHeavy_Legacy);
+
+// Eviction churn: a full table where every third insert is a new flow, so
+// capacity eviction runs constantly — the lazy min-heap's worst case and the
+// legacy O(n) scan's pathology.
+template <typename Table>
+void flow_table_evict_churn(benchmark::State& state) {
+  FlowStateTableConfig cfg;
+  cfg.max_entries = static_cast<std::size_t>(state.range(0));
+  Table table{cfg};
+  const auto n = static_cast<std::uint32_t>(cfg.max_entries);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    table.get_or_create(flow_n(i), static_cast<SimTime>(i));
+  }
+  std::uint32_t i = n;
+  SimTime t = static_cast<SimTime>(n);
+  AllocMeter meter;
+  meter.arm();
+  for (auto _ : state) {
+    ++i;
+    ++t;
+    // Two refreshes and one brand-new flow per round.
+    table.get_or_create(flow_n(i % n), t);
+    table.get_or_create(flow_n((i * 7 + 1) % n), t);
+    table.get_or_create(flow_n(i), t);  // new flow: forces an eviction
+  }
+  meter.report(state);
+  state.SetItemsProcessed(state.iterations() * 3);
+  state.counters["evictions"] = static_cast<double>(table.evictions());
+}
+
+void BM_FlowTable_EvictChurn(benchmark::State& state) {
+  flow_table_evict_churn<FlowStateTable>(state);
+}
+BENCHMARK(BM_FlowTable_EvictChurn)->Arg(1024)->Arg(16384);
+
+void BM_FlowTable_EvictChurn_Legacy(benchmark::State& state) {
+  flow_table_evict_churn<LegacyFlowStateTable>(state);
+}
+BENCHMARK(BM_FlowTable_EvictChurn_Legacy)->Arg(1024)->Arg(16384);
 
 void BM_HashFlow(benchmark::State& state) {
   std::uint32_t i = 0;

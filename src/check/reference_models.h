@@ -1,0 +1,193 @@
+// Pre-pool reference implementations, kept for differential testing and
+// benchmarking.
+//
+// LegacyEventQueue and LegacyFlowStateTable are the event queue and flow
+// table as they existed before the slab-pool/eviction-index rework (PR 5):
+// std::function handlers in an unordered_map, and an O(n) eviction scan.
+// They are the behavioral spec the reworked implementations must match —
+// tests drive identical operation sequences through old and new and compare
+// pop order, eviction victims, and digests; micro_dataplane benches them as
+// the "before" column of the speedup claim. Not for production use.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "check/state_digest.h"
+#include "core/flow_state_table.h"
+#include "net/flow.h"
+#include "sim/event_queue.h"  // EventId / kInvalidEventId
+#include "util/assert.h"
+#include "util/time.h"
+
+namespace inband {
+
+class LegacyEventQueue {
+ public:
+  EventId push(SimTime t, std::function<void()> fn) {
+    INBAND_ASSERT(fn != nullptr);
+    const EventId id = next_id_++;
+    heap_.push({t, id});
+    handlers_.emplace(id, std::move(fn));
+    ++live_;
+    return id;
+  }
+
+  bool cancel(EventId id) {
+    const auto erased = handlers_.erase(id);
+    if (erased == 0) return false;
+    INBAND_ASSERT(live_ > 0);
+    --live_;
+    return true;
+  }
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  SimTime next_time() {
+    drop_dead_heads();
+    return heap_.empty() ? kNoTime : heap_.top().t;
+  }
+
+  struct Popped {
+    SimTime t;
+    std::function<void()> fn;
+  };
+
+  Popped pop() {
+    drop_dead_heads();
+    INBAND_ASSERT(!heap_.empty(), "pop() on empty event queue");
+    const HeapEntry head = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(head.id);
+    INBAND_ASSERT(it != handlers_.end());
+    Popped out{head.t, std::move(it->second)};
+    handlers_.erase(it);
+    --live_;
+    last_popped_ = head.t;
+    return out;
+  }
+
+  std::uint64_t total_pushed() const { return next_id_ - 1; }
+  SimTime last_popped() const { return last_popped_; }
+
+  void digest_state(StateDigest& digest) {
+    digest.mix(next_id_);
+    digest.mix(live_);
+    digest.mix_i64(last_popped_);
+    digest.mix_i64(next_time());
+  }
+
+ private:
+  struct HeapEntry {
+    SimTime t;
+    EventId id;
+    bool operator>(const HeapEntry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  void drop_dead_heads() {
+    while (!heap_.empty() &&
+           handlers_.find(heap_.top().id) == handlers_.end()) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  SimTime last_popped_ = kNoTime;
+};
+
+class LegacyFlowStateTable {
+ public:
+  explicit LegacyFlowStateTable(FlowStateTableConfig config = {})
+      : config_{config} {
+    INBAND_ASSERT(config_.max_entries > 0);
+  }
+
+  FlowState& get_or_create(const FlowKey& flow, SimTime now) {
+    auto it = map_.find(flow);
+    if (it == map_.end()) {
+      if (map_.size() >= config_.max_entries) evict_stalest();
+      it = map_.emplace(flow, Entry{}).first;
+    }
+    it->second.last_seen = now;
+    return it->second.state;
+  }
+
+  void erase(const FlowKey& flow) { map_.erase(flow); }
+
+  void maybe_sweep(SimTime now) {
+    if (now - last_sweep_ < config_.sweep_interval) return;
+    last_sweep_ = now;
+    // detlint:allow(unordered-iter): erases the idle subset; expiry is decided per entry, independent of visit order
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (now - it->second.last_seen >= config_.idle_timeout) {
+        it = map_.erase(it);
+        ++expirations_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+  void digest_state(StateDigest& digest) const {
+    UnorderedDigest entries;
+    // detlint:allow(unordered-iter): per-entry digests fold through the commutative UnorderedDigest combiner
+    for (const auto& [flow, entry] : map_) {
+      StateDigest e;
+      e.mix(hash_flow(flow));
+      e.mix_i64(entry.last_seen);
+      e.mix_i64(entry.state.min_sample);
+      EnsembleTimeout::digest_state(entry.state.ensemble, e);
+      entries.add(e);
+    }
+    entries.mix_into(digest);
+    digest.mix(evictions_);
+    digest.mix(expirations_);
+    digest.mix_i64(last_sweep_);
+  }
+
+ private:
+  struct Entry {
+    FlowState state;
+    SimTime last_seen = kNoTime;
+  };
+
+  void evict_stalest() {
+    // The O(n) scan the eviction index replaced; ties on last_seen break on
+    // the flow key so old and new pick the same victim.
+    auto victim = map_.end();
+    // detlint:allow(unordered-iter): selects the unique minimum by a value-based key; the result is independent of visit order
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (victim == map_.end() ||
+          it->second.last_seen < victim->second.last_seen ||
+          (it->second.last_seen == victim->second.last_seen &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    if (victim != map_.end()) {
+      map_.erase(victim);
+      ++evictions_;
+    }
+  }
+
+  FlowStateTableConfig config_;
+  std::unordered_map<FlowKey, Entry, FlowKeyHash> map_;
+  SimTime last_sweep_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace inband

@@ -20,7 +20,10 @@ std::optional<ShiftDecision> AlphaShiftController::evaluate(
     return std::nullopt;
   }
 
-  const auto all = tracker.scores(now);
+  // Scratch reuse: evaluate runs per sampled packet, so a fresh vector here
+  // would be the dataplane's only steady-state allocation.
+  tracker.scores_into(now, scores_scratch_);
+  const auto& all = scores_scratch_;
   // Eligible: warm and fresh.
   const BackendScore* worst = nullptr;
   const BackendScore* best = nullptr;

@@ -78,6 +78,7 @@ class AlphaShiftController {
  private:
   AlphaShiftConfig config_;
   DecayingEwma baseline_best_;
+  std::vector<BackendScore> scores_scratch_;  // reused across evaluate() calls
   BackendId pending_from_ = kNoBackend;
   SimTime pending_since_ = kNoTime;
   SimTime last_shift_ = kNoTime;

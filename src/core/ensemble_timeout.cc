@@ -60,9 +60,16 @@ std::size_t EnsembleTimeout::detect_cliff(
 }
 
 void EnsembleTimeout::roll_epoch(EnsembleState& state, SimTime now) const {
+  const SimTime elapsed = now - state.epoch_start;
+  // Counters older than the immediately preceding epoch are stale: the flow
+  // sat idle for at least one full epoch since they were collected, and the
+  // cliff they encode describes traffic that no longer exists. Adopting δ
+  // from them let one pre-idle burst dictate the timeout a resumed flow
+  // wakes up with; discard them and keep the previous choice instead.
+  const bool stale = elapsed >= 2 * config_.epoch;
   bool any = false;
   for (auto n : state.samples) any = any || n > 0;
-  if (any) {
+  if (any && !stale) {
     const std::size_t m = detect_cliff(state.samples);
     // Only adopt a cliff whose winning timeout actually produced samples;
     // an all-quiet flow keeps its previous choice (line 10's δₘ would be
@@ -74,7 +81,6 @@ void EnsembleTimeout::roll_epoch(EnsembleState& state, SimTime now) const {
   state.samples.assign(fixed_.size(), 0);  // line 9: reset counters
   // Epochs are anchored to the flow's first packet; skip any fully idle
   // epochs so epoch_start stays within one epoch of `now`.
-  const SimTime elapsed = now - state.epoch_start;
   state.epoch_start += (elapsed / config_.epoch) * config_.epoch;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/ensemble_timeout.h"
 #include "net/flow.h"
@@ -72,10 +73,33 @@ class FlowStateTable {
     SimTime last_seen = kNoTime;
   };
 
+  // Lazy min-heap record over (last_seen, flow). Every refresh pushes a new
+  // record; eviction pops records until one still matches its entry's
+  // current last_seen. Stale records (the flow was refreshed, erased, or
+  // expired since the push) are skipped, which makes evict_stalest()
+  // amortized O(log n) instead of the former O(n) scan — the scan degraded
+  // to O(n²) total under the SYN-flood scenarios that churn the table at
+  // capacity. The victim is identical to the scan's: the live minimum of
+  // (last_seen, flow key).
+  struct EvictRecord {
+    SimTime last_seen;
+    FlowKey flow;
+  };
+  struct EvictGreater {
+    bool operator()(const EvictRecord& a, const EvictRecord& b) const {
+      if (a.last_seen != b.last_seen) return a.last_seen > b.last_seen;
+      return b.flow < a.flow;
+    }
+  };
+
   void evict_stalest();
+  void push_evict_record(const FlowKey& flow, SimTime last_seen);
+  void compact_evict_index();
+  std::size_t evict_index_limit() const { return 2 * map_.size() + 64; }
 
   FlowStateTableConfig config_;
   std::unordered_map<FlowKey, Entry, FlowKeyHash> map_;
+  std::vector<EvictRecord> evict_index_;  // min-heap via EvictGreater
   SimTime last_sweep_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;

@@ -30,28 +30,38 @@ void ServerLatencyTracker::record(BackendId backend, SimTime now,
   ++e.count;
 }
 
-double ServerLatencyTracker::score(BackendId backend, SimTime now) {
+std::optional<double> ServerLatencyTracker::score(BackendId backend,
+                                                  SimTime now) {
   INBAND_ASSERT(backend < entries_.size());
   auto& e = entries_[backend];
-  if (e.count == 0) return 0.0;
+  if (e.count == 0) return std::nullopt;
   switch (config_.mode) {
     case LatencyScoreMode::kEwma:
       return e.ewma.value();
-    case LatencyScoreMode::kWindowedP95:
-      return static_cast<double>(e.window.percentile(now, 0.95));
+    case LatencyScoreMode::kWindowedP95: {
+      const Histogram& h = e.window.merged(now);
+      if (h.count() == 0) return std::nullopt;  // all samples aged out
+      return static_cast<double>(h.percentile(0.95));
+    }
   }
-  return 0.0;
+  return std::nullopt;
 }
 
 std::vector<BackendScore> ServerLatencyTracker::scores(SimTime now) {
   std::vector<BackendScore> out;
+  scores_into(now, out);
+  return out;
+}
+
+void ServerLatencyTracker::scores_into(SimTime now,
+                                       std::vector<BackendScore>& out) {
+  out.clear();
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     auto& e = entries_[i];
-    if (e.count == 0) continue;
-    out.push_back({static_cast<BackendId>(i), score(static_cast<BackendId>(i), now),
-                   e.last_sample, e.count});
+    const auto s = score(static_cast<BackendId>(i), now);
+    if (!s.has_value()) continue;
+    out.push_back({static_cast<BackendId>(i), *s, e.last_sample, e.count});
   }
-  return out;
 }
 
 std::uint64_t ServerLatencyTracker::samples(BackendId backend) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "lb/backend.h"
@@ -44,11 +45,19 @@ class ServerLatencyTracker {
 
   void record(BackendId backend, SimTime now, SimTime t_lb);
 
-  // Score for one backend (0 when it has no samples yet).
-  double score(BackendId backend, SimTime now);
+  // Score for one backend; nullopt when it has no opinion — no samples yet,
+  // or (p95 mode) every sample has aged out of the sliding window. The old
+  // 0.0-on-empty-window convention made a long-quiet backend the cluster's
+  // *best* score, defeating the controller's rel_threshold/global_guard
+  // comparisons and attracting shifted traffic.
+  std::optional<double> score(BackendId backend, SimTime now);
 
-  // All backends that have at least one sample.
+  // All backends that currently have a score (see score()).
   std::vector<BackendScore> scores(SimTime now);
+
+  // Same, written into `out` (cleared first) so per-packet callers reuse its
+  // capacity instead of allocating a fresh vector per evaluation.
+  void scores_into(SimTime now, std::vector<BackendScore>& out);
 
   std::uint64_t samples(BackendId backend) const;
   SimTime last_sample_time(BackendId backend) const;

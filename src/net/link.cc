@@ -53,9 +53,14 @@ bool Link::transmit(Packet pkt, PacketSink& dst) {
   // FIFO: jitter may not reorder packets on the wire.
   deliver_at = std::max(deliver_at, last_delivery_ + 1);
   last_delivery_ = deliver_at;
-  sim_.schedule_at(deliver_at, [&dst, p = std::move(pkt)]() mutable {
+  auto deliver = [&dst, p = std::move(pkt)]() mutable {
     dst.handle_packet(std::move(p));
-  });
+  };
+  // The per-packet event must live inline in the event pool; a Packet that
+  // outgrows the callback's small buffer would put an allocation back on
+  // every simulated hop.
+  static_assert(EventCallback::fits_inline<decltype(deliver)>());
+  sim_.schedule_at(deliver_at, std::move(deliver));
   return true;
 }
 

@@ -71,9 +71,11 @@ bool Network::send(Ipv4 from, Ipv4 to, Packet pkt) {
 
 void Network::transmit_held(Link& link, Host& dst, Packet pkt, SimTime hold) {
   INBAND_ASSERT(hold >= 0);
-  sim_.schedule_after(hold, [this, &link, &dst, p = std::move(pkt)]() mutable {
+  auto release = [this, &link, &dst, p = std::move(pkt)]() mutable {
     if (!link.transmit(std::move(p), dst)) ++packets_dropped_;
-  });
+  };
+  static_assert(EventCallback::fits_inline<decltype(release)>());
+  sim_.schedule_after(hold, std::move(release));
 }
 
 }  // namespace inband

@@ -103,6 +103,7 @@ class ClusterRig {
   }
 
   Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
   LoadBalancer& lb(int i = 0) { return *lbs_[static_cast<std::size_t>(i)]; }
   int num_lbs() const { return static_cast<int>(lbs_.size()); }
   KvServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }

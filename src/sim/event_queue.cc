@@ -1,61 +1,244 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "check/invariant_auditor.h"
 #include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
 
-EventId EventQueue::push(SimTime t, std::function<void()> fn) {
-  INBAND_ASSERT(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push({t, id});
-  handlers_.emplace(id, std::move(fn));
-  ++live_;
-  return id;
+namespace {
+
+// First set bit at index >= from, or 64 when none.
+inline unsigned next_bit(std::uint64_t bits, std::uint32_t from) {
+  if (from >= 64) return 64;
+  const std::uint64_t rest = bits >> from << from;
+  return rest == 0 ? 64u : static_cast<unsigned>(std::countr_zero(rest));
+}
+
+}  // namespace
+
+EventQueue::EventQueue() {
+  for (auto& level : rings_) {
+    for (auto& bucket : level) bucket.reserve(kBucketReserve);
+  }
+  far_keys_.reserve(kFarReserve);
+  far_payload_.reserve(kFarReserve);
+}
+
+std::uint32_t EventQueue::alloc_slot_slow() {
+  if (slot_count_ % kSlotsPerChunk == 0) {
+    INBAND_ASSERT(slot_count_ < kNullSlot - kSlotsPerChunk,
+                  "event pool exhausted");
+    chunks_.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+  }
+  return slot_count_++;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto erased = handlers_.erase(id);
-  if (erased == 0) return false;
+  if (id == kInvalidEventId) return false;
+  const std::uint32_t index = slot_of(id);
+  if (index >= slot_count_) return false;
+  Slot& s = slot_ref(index);
+  if (s.gen != gen_of(id) || !s.callback) return false;
+  s.callback.reset();
+  retire_handle(s);  // the wheel entry is now a tombstone, skipped at pop
+  recycle_slot(index, s);
   INBAND_ASSERT(live_ > 0);
   --live_;
   return true;
 }
 
-void EventQueue::drop_dead_heads() {
-  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
-    heap_.pop();
+// Slow path of front_entry(): the active bucket is drained, so move the
+// cursor forward — next occupied level-0 bucket in this epoch, else cascade
+// the next occupied bucket of a higher level down, else re-anchor at the far
+// heap. Each step only ever jumps to a bucket that holds the globally
+// earliest pending entries, so pops stay in (time, seq) order.
+EventQueue::WheelEntry* EventQueue::advance_cursor() {
+  for (;;) {
+    {
+      std::vector<WheelEntry>& v = active_bucket();
+      while (pos_ < v.size()) {
+        WheelEntry& e = v[pos_];
+        if (slot_ref(e.slot).gen == e.gen) return &e;
+        ++pos_;  // tombstone
+      }
+      v.clear();  // keeps capacity: steady state stays allocation-free
+      pos_ = 0;
+    }
+    const std::uint64_t w = static_cast<std::uint64_t>(wtime_);
+
+    // Level 0: jump to the next occupied bucket of the current 2^12 epoch
+    // and sort it (the only per-event ordering work the wheel ever does).
+    const std::uint32_t s0 =
+        static_cast<std::uint32_t>((w >> kL0Shift) & kWheelMask);
+    if (const unsigned b = next_bit(occ_[0], s0 + 1); b < kWheelSlots) {
+      occ_[0] &= ~(1ull << b);
+      wtime_ = static_cast<SimTime>((w & ~((1ull << kL1Shift) - 1)) |
+                                    (static_cast<std::uint64_t>(b) << kL0Shift));
+      std::vector<WheelEntry>& bucket = active_bucket();
+      std::sort(bucket.begin(), bucket.end(),
+                [](const WheelEntry& a, const WheelEntry& c) {
+                  return a.key < c.key;
+                });
+      continue;
+    }
+    INBAND_DCHECK(occ_[0] == 0, "stale level-0 occupancy behind the cursor");
+
+    // Level 1: cascade the next occupied bucket of the current 2^18 epoch
+    // down into level 0.
+    const std::uint32_t s1 =
+        static_cast<std::uint32_t>((w >> kL1Shift) & kWheelMask);
+    if (const unsigned b = next_bit(occ_[1], s1 + 1); b < kWheelSlots) {
+      occ_[1] &= ~(1ull << b);
+      wtime_ = static_cast<SimTime>((w & ~((1ull << kFarShift) - 1)) |
+                                    (static_cast<std::uint64_t>(b) << kL1Shift));
+      cascade(rings_[1][b]);
+      continue;
+    }
+    INBAND_DCHECK(occ_[1] == 0, "stale level-1 occupancy behind the cursor");
+
+    // Far horizon: re-anchor the wheel at the earliest far event and pull
+    // everything inside the new 2^18-tick window down into the rings.
+    if (far_keys_.empty()) return nullptr;  // queue truly empty
+    const std::uint64_t anchor =
+        static_cast<std::uint64_t>(key_time(far_keys_.front())) & ~kWheelMask;
+    INBAND_DCHECK(static_cast<SimTime>(anchor) >= wtime_,
+                  "wheel cursor would move backwards");
+    wtime_ = static_cast<SimTime>(anchor);
+    const std::uint64_t horizon = anchor | ((1ull << kFarShift) - 1);
+    while (!far_keys_.empty() &&
+           static_cast<std::uint64_t>(key_time(far_keys_.front())) <= horizon) {
+      const WheelEntry e = far_pop();
+      if (slot_ref(e.slot).gen != e.gen) continue;  // cancelled while far
+      place(e);
+    }
   }
 }
 
+// Re-files one exhausted higher-level bucket's entries a level down (or into
+// the active bucket / far heap via place()); tombstones are dropped here
+// instead of being copied along.
+void EventQueue::cascade(std::vector<WheelEntry>& bucket) {
+  for (const WheelEntry& e : bucket) {
+    if (slot_ref(e.slot).gen != e.gen) continue;
+    place(e);
+  }
+  bucket.clear();
+}
+
+EventQueue::WheelEntry EventQueue::far_pop() {
+  const std::uint64_t top = far_payload_.front();
+  const WheelEntry out{far_keys_.front(), static_cast<std::uint32_t>(top >> 32),
+                       static_cast<std::uint32_t>(top)};
+  const Key lk = far_keys_.back();
+  const std::uint64_t lp = far_payload_.back();
+  far_keys_.pop_back();
+  far_payload_.pop_back();
+  const std::size_t n = far_keys_.size();
+  if (n != 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      std::size_t best;
+      if (first + 3 < n) {
+        // Branchless min-of-4 tournament over the adjacent children.
+        const std::size_t a =
+            first + static_cast<std::size_t>(far_keys_[first + 1] <
+                                             far_keys_[first]);
+        const std::size_t c =
+            first + 2 + static_cast<std::size_t>(far_keys_[first + 3] <
+                                                 far_keys_[first + 2]);
+        best = far_keys_[c] < far_keys_[a] ? c : a;
+      } else {
+        if (first >= n) break;
+        best = first;
+        for (std::size_t c = first + 1; c < n; ++c) {
+          if (far_keys_[c] < far_keys_[best]) best = c;
+        }
+      }
+      if (lk < far_keys_[best]) break;
+      far_keys_[i] = far_keys_[best];
+      far_payload_[i] = far_payload_[best];
+      i = best;
+    }
+    far_keys_[i] = lk;
+    far_payload_[i] = lp;
+  }
+  return out;
+}
+
 SimTime EventQueue::next_time() {
-  drop_dead_heads();
-  return heap_.empty() ? kNoTime : heap_.top().t;
+  WheelEntry* head = front_entry();
+  return head == nullptr ? kNoTime : key_time(head->key);
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_dead_heads();
-  INBAND_ASSERT(!heap_.empty(), "pop() on empty event queue");
-  const HeapEntry head = heap_.top();
-  heap_.pop();
-  auto it = handlers_.find(head.id);
-  INBAND_ASSERT(it != handlers_.end());
-  Popped out{head.t, std::move(it->second)};
-  handlers_.erase(it);
+  WheelEntry* head = front_entry();
+  INBAND_ASSERT(head != nullptr, "pop() on empty event queue");
+  const SimTime t = key_time(head->key);
+  const std::uint32_t slot = head->slot;
+  [[maybe_unused]] const std::uint32_t gen = head->gen;
+  ++pos_;
+  Slot& s = slot_ref(slot);
+  INBAND_DCHECK(s.gen == gen && s.callback);
+  Popped out{t, std::move(s.callback)};
+  retire_handle(s);
+  recycle_slot(slot, s);
   --live_;
-  INBAND_DCHECK(last_popped_ == kNoTime || head.t >= last_popped_,
+  INBAND_DCHECK(last_popped_ == kNoTime || t >= last_popped_,
                 "event queue popped backwards in time");
-  last_popped_ = head.t;
+  last_popped_ = t;
   return out;
 }
 
 void EventQueue::audit_invariants(AuditScope& scope) {
-  scope.check(handlers_.size() == live_, "live-count-consistent",
-              "handler map size != live counter");
-  scope.check(heap_.size() >= live_, "heap-covers-live",
-              "fewer heap entries than live events");
-  scope.check(next_id_ >= 1 + live_, "id-counter-sane");
+  std::size_t occupied = 0;
+  std::uint64_t free_count = 0;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    if (slot_ref(i).callback) ++occupied;
+  }
+  for (std::uint32_t i = free_head_; i != kNullSlot;
+       i = slot_ref(i).next_free) {
+    ++free_count;
+  }
+  // An audit can run from inside a firing callback (the rig's periodic
+  // audit is itself an event); that callback's slot is occupied but no
+  // longer counted live.
+  const std::size_t in_flight =
+      firing_slot_ != kNullSlot && slot_ref(firing_slot_).callback ? 1 : 0;
+  scope.check(occupied == live_ + in_flight, "live-count-consistent",
+              "occupied pool slots != live counter");
+  scope.check(occupied + free_count + retired_slots_ == slot_count_,
+              "pool-slots-accounted",
+              "live + free + retired slots != pool size");
+
+  // Every live event has a pending wheel/heap entry (tombstones may add
+  // more), and the occupancy bitmaps agree with the bucket vectors.
+  std::size_t pending = far_keys_.size();
+  bool occ_ok = true;
+  const std::vector<WheelEntry>* active = &active_bucket();
+  for (int level = 0; level < kWheelLevels; ++level) {
+    for (std::uint32_t b = 0; b < kWheelSlots; ++b) {
+      const std::vector<WheelEntry>& v = rings_[level][b];
+      pending += v.size();
+      const bool bit = (occ_[level] >> b) & 1u;
+      if (&v == active) {
+        if (bit) occ_ok = false;  // the active bucket is tracked by pos_
+      } else if (bit != !v.empty()) {
+        occ_ok = false;
+      }
+    }
+  }
+  INBAND_ASSERT(pos_ <= active->size());
+  pending -= pos_;  // consumed prefix of the active bucket
+  scope.check(pending >= live_, "wheel-covers-live",
+              "fewer pending wheel entries than live events");
+  scope.check(occ_ok, "wheel-occupancy-bitmap",
+              "occupancy bitmap disagrees with bucket contents");
+  scope.check(next_seq_ >= 1 + live_, "id-counter-sane");
   const SimTime next = next_time();
   if (next != kNoTime && last_popped_ != kNoTime) {
     scope.check(next >= last_popped_, "time-monotonic",
@@ -64,7 +247,12 @@ void EventQueue::audit_invariants(AuditScope& scope) {
 }
 
 void EventQueue::digest_state(StateDigest& digest) {
-  digest.mix(next_id_);
+  // Mixes the same quantities (in the same order) as the pre-pool
+  // implementation: push counter, live count, last pop time, next event
+  // time. Wheel geometry, bucket membership and slot generations are
+  // storage artifacts and stay out, which is what keeps digests
+  // bit-identical across the storage rework.
+  digest.mix(next_seq_);
   digest.mix(live_);
   digest.mix_i64(last_popped_);
   digest.mix_i64(next_time());

@@ -7,17 +7,14 @@
 
 namespace inband {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  INBAND_ASSERT(t >= now_, "scheduling into the past");
-  return queue_.push(t, std::move(fn));
-}
-
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto ev = queue_.pop();
-  INBAND_DCHECK(ev.t >= now_);
-  now_ = ev.t;
-  ev.fn();
+  // fire_next invokes the handler in its pool slot; the pre-hook commits the
+  // clock before the handler runs so handlers observe now() == their time.
+  queue_.fire_next([this](SimTime t) {
+    INBAND_DCHECK(t >= now_);
+    now_ = t;
+  });
   ++executed_;
   return true;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "util/assert.h"
 #include "util/time.h"
 
 namespace inband {
@@ -22,12 +23,19 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules fn at absolute time t (>= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  // Schedules fn at absolute time t (>= now). Accepts any nullary callable;
+  // the callback is stored erased in the event pool, without the per-event
+  // heap allocation a std::function parameter would force.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    INBAND_ASSERT(t >= now_, "scheduling into the past");
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   // Schedules fn `delay` after now (delay >= 0).
-  EventId schedule_after(SimTime delay, std::function<void()> fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_after(SimTime delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -61,8 +61,12 @@ double SlidingWindowHistogram::mean(SimTime now) { return merged(now).mean(); }
 
 void SlidingWindowHistogram::reset() {
   for (auto& h : slices_) h.reset();
-  started_ = false;
-  current_slice_ = 0;
+  // The merge scratch must go too: a caller holding the reference from a
+  // pre-reset merged() would otherwise keep reading forgotten samples.
+  scratch_.reset();
+  // Deliberately keep started_/current_slice_. Un-anchoring here would let
+  // the next record() re-anchor at an arbitrary earlier time — silently
+  // accepting non-monotonic clocks and shifting the % n slice mapping.
 }
 
 }  // namespace inband

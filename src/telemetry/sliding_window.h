@@ -29,11 +29,17 @@ class SlidingWindowHistogram {
 
   SimTime window() const { return window_; }
 
+  // The live slices merged into one histogram, valid until the next call on
+  // this object (any mutation — record, reset, or another query — may
+  // rewrite it). Lets callers take several statistics from one merge.
+  const Histogram& merged(SimTime now);
+
+  // Forgets all samples. The time anchor survives: `now` stays monotonic
+  // across reset, and the next record lands in a well-defined slice.
   void reset();
 
  private:
   void advance_to(SimTime now);
-  const Histogram& merged(SimTime now);
 
   SimTime window_;
   SimTime slice_len_;

@@ -1,0 +1,45 @@
+#include "util/bench_cli.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace inband {
+
+BenchCli::BenchCli(std::string bench_name, std::string description,
+                   std::int64_t default_seed)
+    : bench_name_{std::move(bench_name)},
+      flags_{std::move(description)},
+      seed_{default_seed} {
+  flags_.add("json", &json_path_,
+             "write a JSON result summary to this path");
+  flags_.add("quick", &quick_, "scaled-down run for smoke tests");
+  flags_.add("seed", &seed_, "simulation seed");
+}
+
+bool BenchCli::parse(int argc, const char* const* argv) {
+  return flags_.parse(argc, argv);
+}
+
+bool BenchCli::write_json(
+    const std::function<void(JsonWriter&)>& fill) const {
+  if (json_path_.empty()) return true;
+  std::ofstream out{json_path_};
+  if (!out) {
+    std::fprintf(stderr, "cannot write --json file: %s\n",
+                 json_path_.c_str());
+    return false;
+  }
+  JsonWriter w{out};
+  w.begin_object();
+  w.kv("schema", kSchema);
+  w.kv("bench", bench_name_);
+  w.kv("quick", quick_);
+  w.kv("seed", seed_);
+  w.key("metrics").begin_object();
+  fill(w);
+  w.end_object();
+  w.end_object();
+  return out.good();
+}
+
+}  // namespace inband

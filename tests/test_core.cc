@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "app/variability.h"
+#include "check/reference_models.h"
+#include "check/state_digest.h"
 #include "core/alpha_shift_controller.h"
 #include "core/ensemble_timeout.h"
 #include "core/fixed_timeout.h"
@@ -231,6 +233,43 @@ TEST(Ensemble, IdleFlowKeepsPreviousChoice) {
   EXPECT_EQ(est.current_delta(s), EnsembleConfig::default_timeouts()[2]);
 }
 
+TEST(Ensemble, StaleCountersDiscardedAfterIdleEpochs) {
+  EnsembleConfig cfg;
+  cfg.epoch = ms(1);
+  cfg.initial_choice = 2;
+  EnsembleTimeout est{cfg};
+  EnsembleState s;
+  // Build a strong cliff at index 0 inside the first epoch: ~100us gaps
+  // sample the 64us timeout on every packet and none of the larger ones.
+  est.on_packet(s, 0);
+  for (int i = 1; i <= 8; ++i) {
+    est.on_packet(s, static_cast<SimTime>(i) * us(100));
+  }
+  EXPECT_GT(s.samples[0], 0u);
+  // The flow then sits idle for 3+ epochs. Those counters describe traffic
+  // that no longer exists; the resumed flow must keep its previous choice
+  // rather than adopt the pre-idle cliff (regression: it used to wake up
+  // with the 64us timeout).
+  est.on_packet(s, ms(4) + us(100));
+  EXPECT_EQ(est.current_delta(s), EnsembleConfig::default_timeouts()[2]);
+}
+
+TEST(Ensemble, PreviousEpochCountersStillAdopted) {
+  // The stale-counter guard only fires after a full idle epoch: a roll at
+  // elapsed < 2*epoch still adopts the cliff the last epoch measured.
+  EnsembleConfig cfg;
+  cfg.epoch = ms(1);
+  cfg.initial_choice = 2;
+  EnsembleTimeout est{cfg};
+  EnsembleState s;
+  est.on_packet(s, 0);
+  for (int i = 1; i <= 8; ++i) {
+    est.on_packet(s, static_cast<SimTime>(i) * us(100));
+  }
+  est.on_packet(s, ms(1) + us(500));  // elapsed 1.5 epochs: counters fresh
+  EXPECT_EQ(est.current_delta(s), EnsembleConfig::default_timeouts()[0]);
+}
+
 TEST(Ensemble, InitialChoiceConfigurable) {
   EnsembleConfig cfg;
   cfg.initial_choice = 0;
@@ -340,14 +379,87 @@ TEST(FlowStateTable, CapacityEvictsStalest) {
   EXPECT_EQ(t.evictions(), 2u);
 }
 
+TEST(FlowStateTable, RefreshedEntrySurvivesEviction) {
+  // The eviction index holds stale records for refreshed entries; they must
+  // be skipped, not treated as the victim.
+  FlowStateTableConfig cfg;
+  cfg.max_entries = 2;
+  FlowStateTable t{cfg};
+  t.get_or_create(flow_n(1), 10);
+  t.get_or_create(flow_n(2), 20);
+  t.get_or_create(flow_n(1), 30);  // refresh: record {10, flow 1} goes stale
+  t.get_or_create(flow_n(3), 40);  // must evict flow 2, the live minimum
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.evictions(), 1u);
+  t.get_or_create(flow_n(1), 50);  // still present: no eviction
+  EXPECT_EQ(t.evictions(), 1u);
+  t.get_or_create(flow_n(2), 60);  // was evicted: re-creating evicts again
+  EXPECT_EQ(t.evictions(), 2u);
+}
+
+TEST(FlowStateTable, MatchesLegacyScanOnRandomChurn) {
+  // Differential check against the pre-index O(n)-scan implementation:
+  // identical churn (creates, refreshes, erases, sweeps) at capacity must
+  // leave identical contents, eviction/expiration counters, and digests.
+  FlowStateTableConfig cfg;
+  cfg.max_entries = 45;
+  cfg.idle_timeout = ms(2);
+  cfg.sweep_interval = us(500);
+  FlowStateTable neu{cfg};
+  LegacyFlowStateTable old{cfg};
+  Rng rng{20260806};
+  SimTime now = 0;
+  for (int step = 0; step < 20000; ++step) {
+    now += static_cast<SimTime>(
+        rng.uniform_u64(0, static_cast<std::uint64_t>(us(1))));
+    // The active flow range drifts forward so abandoned flows go idle and
+    // expire, exercising sweep alongside capacity eviction.
+    const auto n = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(step / 400) + rng.uniform_u64(0, 30));
+    const std::uint64_t roll = rng.uniform_u64(0, 99);
+    if (roll < 80) {
+      neu.maybe_sweep(now);
+      old.maybe_sweep(now);
+      auto& a = neu.get_or_create(flow_n(n), now);
+      auto& b = old.get_or_create(flow_n(n), now);
+      a.min_sample = b.min_sample = now % 977;
+    } else if (roll < 90 || step < 10000) {
+      neu.erase(flow_n(n));
+      old.erase(flow_n(n));
+    } else {
+      // Second half only (so idle flows can expire undisturbed first):
+      // one-shot flows push the table over capacity, forcing evict_stalest
+      // in both implementations.
+      const auto burst = static_cast<std::uint32_t>(100000 + step);
+      neu.get_or_create(flow_n(burst), now);
+      old.get_or_create(flow_n(burst), now);
+    }
+    ASSERT_EQ(neu.size(), old.size()) << "step " << step;
+    if (step % 500 == 0) {
+      StateDigest dn;
+      neu.digest_state(dn);
+      StateDigest dl;
+      old.digest_state(dl);
+      ASSERT_EQ(dn.value(), dl.value()) << "step " << step;
+    }
+  }
+  EXPECT_GT(neu.evictions(), 0u);
+  EXPECT_GT(neu.expirations(), 0u);
+  StateDigest dn;
+  neu.digest_state(dn);
+  StateDigest dl;
+  old.digest_state(dl);
+  EXPECT_EQ(dn.value(), dl.value());
+}
+
 // --- server latency tracker ---
 
 TEST(Tracker, EwmaScoreFollowsSamples) {
   ServerLatencyTracker tr{2};
   tr.record(0, 0, us(100));
   tr.record(0, us(10), us(100));
-  EXPECT_NEAR(tr.score(0, us(10)), static_cast<double>(us(100)), 1.0);
-  EXPECT_EQ(tr.score(1, us(10)), 0.0);
+  EXPECT_NEAR(tr.score(0, us(10)).value(), static_cast<double>(us(100)), 1.0);
+  EXPECT_FALSE(tr.score(1, us(10)).has_value());
 }
 
 TEST(Tracker, ScoresListsOnlySampledBackends) {
@@ -367,8 +479,45 @@ TEST(Tracker, WindowedP95Mode) {
   ServerLatencyTracker tr{1, cfg};
   for (int i = 0; i < 95; ++i) tr.record(0, us(100), us(100));
   for (int i = 0; i < 5; ++i) tr.record(0, us(100), ms(2));
-  const double p95 = tr.score(0, us(200));
+  const double p95 = tr.score(0, us(200)).value();
   EXPECT_GT(p95, static_cast<double>(us(90)));
+}
+
+TEST(Tracker, WindowedP95AgedOutSamplesMeanNoScore) {
+  LatencyTrackerConfig cfg;
+  cfg.mode = LatencyScoreMode::kWindowedP95;
+  cfg.window = ms(10);
+  ServerLatencyTracker tr{2, cfg};
+  tr.record(0, 0, us(100));
+  tr.record(1, 0, us(200));
+  EXPECT_TRUE(tr.score(0, us(1)).has_value());
+  // Backend 0's samples age out of the window while count stays > 0. It
+  // must report "no opinion" — the old 0.0 made it the cluster's best
+  // backend — and scores() must skip it.
+  tr.record(1, ms(50), us(200));
+  EXPECT_FALSE(tr.score(0, ms(50)).has_value());
+  const auto scores = tr.scores(ms(50));
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].backend, 1u);
+}
+
+TEST(Controller, AgedOutBackendCannotMasqueradeAsBest) {
+  // Regression: pre-fix, a p95 backend whose window had drained scored 0.0,
+  // became "best", and let any live backend pass the rel_threshold and
+  // min_abs_gap checks — draining traffic over a 20us gap.
+  LatencyTrackerConfig tcfg;
+  tcfg.mode = LatencyScoreMode::kWindowedP95;
+  tcfg.window = ms(10);
+  ServerLatencyTracker tr{3, tcfg};
+  AlphaShiftConfig cfg;
+  cfg.min_samples = 1;
+  cfg.cooldown = 0;
+  cfg.staleness = sec(1);  // freshness-by-timestamp stays satisfied
+  AlphaShiftController ctrl{cfg};
+  tr.record(0, 0, us(100));  // ages out of the window by ms(50)
+  tr.record(1, ms(50), us(500));
+  tr.record(2, ms(50), us(520));
+  EXPECT_FALSE(ctrl.evaluate(tr, ms(50)).has_value());
 }
 
 TEST(Tracker, EwmaDecaysTowardNewLevel) {
@@ -377,7 +526,7 @@ TEST(Tracker, EwmaDecaysTowardNewLevel) {
   ServerLatencyTracker tr{1, cfg};
   tr.record(0, 0, us(100));
   tr.record(0, ms(1), ms(1));  // 10 tau later: old value nearly gone
-  EXPECT_GT(tr.score(0, ms(1)), static_cast<double>(us(900)));
+  EXPECT_GT(tr.score(0, ms(1)).value(), static_cast<double>(us(900)));
 }
 
 // --- alpha-shift controller ---
@@ -857,7 +1006,7 @@ TEST(InbandPolicy, HandshakeBootstrapFeedsTracker) {
   // Two samples land: the handshake gap AND the ensemble's batch gap (the
   // ACK opens a new batch 300us after the SYN) — both measure the same loop.
   EXPECT_EQ(policy.tracker().samples(0), 2u);
-  EXPECT_NEAR(policy.tracker().score(0, us(310)),
+  EXPECT_NEAR(policy.tracker().score(0, us(310)).value(),
               static_cast<double>(us(300)), 1.0);
 }
 

@@ -248,6 +248,38 @@ TEST(SlidingWindow, ResetForgets) {
   EXPECT_EQ(w.count(ms(1)), 0u);
 }
 
+TEST(SlidingWindow, ResetClearsMergedScratch) {
+  SlidingWindowHistogram w{ms(10), 5};
+  w.record(us(1), 100);
+  const Histogram& m = w.merged(us(2));
+  EXPECT_EQ(m.count(), 1u);
+  // The reference aliases the internal merge scratch; a reset must not
+  // leave it reporting forgotten samples.
+  w.reset();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(SlidingWindow, ResetKeepsTimeAnchor) {
+  SlidingWindowHistogram w{ms(10), 5};
+  w.record(ms(5), 100);
+  w.reset();
+  // The ring is empty but still anchored: the next record lands in the
+  // slice its timestamp maps to, and the window keeps rotating from there.
+  w.record(ms(6), 200);
+  EXPECT_EQ(w.count(ms(6)), 1u);
+  EXPECT_EQ(w.percentile(ms(6), 0.5), 200);
+  EXPECT_EQ(w.count(ms(30)), 0u);
+}
+
+TEST(SlidingWindow, ResetStillRejectsTimeGoingBackwards) {
+  // reset() must not un-anchor the clock: re-anchoring on the next record
+  // would silently accept a non-monotonic time and shift the slice mapping.
+  SlidingWindowHistogram w{ms(10), 5};
+  w.record(ms(5), 100);
+  w.reset();
+  EXPECT_DEATH(w.record(0, 1), "time went backwards");
+}
+
 // --- time series ---
 
 TEST(TimeSeries, BucketizeMean) {
