@@ -78,7 +78,7 @@ void KvClient::fill_pipeline(int slot_index) {
 
 void KvClient::issue_request(int slot_index) {
   auto& slot = slots_[static_cast<std::size_t>(slot_index)];
-  auto req = std::make_shared<KvMessage>();
+  auto req = msg_pool_.make();
   req->kind = KvKind::kRequest;
   req->op = rng_.bernoulli(config_.get_ratio) ? KvOp::kGet : KvOp::kSet;
   req->id = next_request_id_++;

@@ -20,7 +20,9 @@
 
 #include "app/message.h"
 #include "tcp/stack.h"
+#include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shared_pool.h"
 
 namespace inband {
 
@@ -85,13 +87,14 @@ class KvClient {
 
   void open_connection(int slot);
   void fill_pipeline(int slot);
-  void issue_request(int slot);
-  void on_response(int slot, const KvMessage& resp);
+  INBAND_HOT void issue_request(int slot);
+  INBAND_HOT void on_response(int slot, const KvMessage& resp);
   void on_conn_closed(int slot, bool reset);
 
   TcpHost& host_;
   KvClientConfig config_;
   Rng rng_;
+  SharedPool<KvMessage> msg_pool_;  // recycles request objects
   std::unique_ptr<ZipfDistribution> zipf_;  // null => uniform keys
   Recorder recorder_;
   std::vector<ConnSlot> slots_;

@@ -22,7 +22,9 @@
 #include "app/message.h"
 #include "app/variability.h"
 #include "tcp/stack.h"
+#include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shared_pool.h"
 
 namespace inband {
 
@@ -71,16 +73,17 @@ class KvServer {
   };
 
   void on_accept(TcpConnection& conn);
-  void on_request(TcpConnection& conn,
-                  std::shared_ptr<const KvMessage> request);
+  INBAND_HOT void on_request(TcpConnection& conn,
+                             std::shared_ptr<const KvMessage> request);
   void start_processing(Pending work);
-  void finish(Pending work);
+  INBAND_HOT void finish(Pending work);
   SimTime service_time(const KvMessage& request);
   void account_busy(SimTime now, int delta);
 
   TcpHost& host_;
   KvServerConfig config_;
   Rng rng_;
+  SharedPool<KvMessage> msg_pool_;  // recycles response objects
   std::vector<std::unique_ptr<VariabilityInjector>> injectors_;
   std::unordered_map<std::uint64_t, std::uint32_t> store_;  // key -> size
   std::unordered_set<TcpConnection*> open_conns_;

@@ -35,7 +35,12 @@ inline constexpr std::uint32_t kKvResponseHeader = 32;
 std::uint32_t kv_request_wire_size(KvOp op, std::uint32_t value_len);
 std::uint32_t kv_response_wire_size(const KvMessage& response);
 
-// Builds the response to `req` (store effects are applied by the server).
+// Fills `out` with the response to `req` (store effects are applied by the
+// server). Split out so pooled allocation (util/shared_pool.h) can reuse it.
+void fill_kv_response(KvMessage& out, const KvMessage& req, bool hit,
+                      std::uint32_t value_len);
+
+// Builds the response to `req` with a fresh heap allocation.
 std::shared_ptr<KvMessage> make_kv_response(const KvMessage& req, bool hit,
                                             std::uint32_t value_len);
 

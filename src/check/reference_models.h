@@ -31,6 +31,7 @@ class LegacyEventQueue {
     INBAND_ASSERT(fn != nullptr);
     const EventId id = next_id_++;
     heap_.push({t, id});
+    // hotlint:allow(hot-growth): reference model, differential tests only
     handlers_.emplace(id, std::move(fn));
     ++live_;
     return id;
@@ -115,6 +116,7 @@ class LegacyFlowStateTable {
     auto it = map_.find(flow);
     if (it == map_.end()) {
       if (map_.size() >= config_.max_entries) evict_stalest();
+      // hotlint:allow(hot-growth): reference model, differential tests only
       it = map_.emplace(flow, Entry{}).first;
     }
     it->second.last_seen = now;

@@ -5,6 +5,7 @@
 #include "check/invariant_auditor.h"
 #include "check/state_digest.h"
 #include "util/assert.h"
+#include "util/hotpath.h"
 
 namespace inband {
 
@@ -35,6 +36,7 @@ EnsembleTimeout::EnsembleTimeout(EnsembleConfig config)
 }
 
 void EnsembleTimeout::init_state(EnsembleState& state, SimTime now) const {
+  INBAND_COLD_OK("per-flow estimator init: runs once per admitted flow");
   state.per_timeout.assign(fixed_.size(), FixedTimeoutState{});
   state.samples.assign(fixed_.size(), 0);
   state.epoch_start = now;
@@ -78,6 +80,7 @@ void EnsembleTimeout::roll_epoch(EnsembleState& state, SimTime now) const {
       state.chosen = static_cast<std::uint32_t>(m);
     }
   }
+  // hotlint:allow(hot-growth): resets an already-sized vector in place
   state.samples.assign(fixed_.size(), 0);  // line 9: reset counters
   // Epochs are anchored to the flow's first packet; skip any fully idle
   // epochs so epoch_start stays within one epoch of `now`.

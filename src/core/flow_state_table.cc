@@ -18,6 +18,7 @@ FlowState& FlowStateTable::get_or_create(const FlowKey& flow, SimTime now) {
   auto it = map_.find(flow);
   if (it == map_.end()) {
     if (map_.size() >= config_.max_entries) evict_stalest();
+    // hotlint:allow(hot-growth): flow admission, bounded by max_entries
     it = map_.emplace(flow, Entry{}).first;
     it->second.last_seen = now;
     push_evict_record(flow, now);
@@ -35,6 +36,7 @@ void FlowStateTable::erase(const FlowKey& flow) {
 
 void FlowStateTable::push_evict_record(const FlowKey& flow,
                                        SimTime last_seen) {
+  // hotlint:allow(hot-growth): capacity retained across compactions (below)
   evict_index_.push_back({last_seen, flow});
   std::push_heap(evict_index_.begin(), evict_index_.end(), EvictGreater{});
   // Refreshes leave the flow's previous record behind as garbage; compact
@@ -48,6 +50,7 @@ void FlowStateTable::compact_evict_index() {
   evict_index_.clear();
   // detlint:allow(unordered-iter): refills the heap from all live entries; make_heap orders by value, independent of visit order
   for (const auto& [flow, entry] : map_) {
+    // hotlint:allow(hot-growth): refill after clear(); capacity retained
     evict_index_.push_back({entry.last_seen, flow});
   }
   std::make_heap(evict_index_.begin(), evict_index_.end(), EvictGreater{});

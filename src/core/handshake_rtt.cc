@@ -26,6 +26,7 @@ SimTime HandshakeRttEstimator::on_packet(const Packet& pkt, SimTime now) {
   maybe_sweep(now);
 
   if (pkt.has(tcpflag::kSyn) && !pkt.has(tcpflag::kAck)) {
+    // hotlint:allow(hot-growth): one pending entry per handshake, swept out
     const auto [it, inserted] = pending_.emplace(pkt.flow, now);
     if (!inserted) {
       // SYN retransmission: the eventual ACK gap would measure the retry

@@ -79,6 +79,7 @@ void InbandLbPolicy::record_sample(const Packet& pkt, BackendId backend,
                                    SimTime now, SimTime sample) {
   SimTime scored = sample;
   if (config_.normalize_client_floor) {
+    // hotlint:allow(hot-growth): one floor entry per distinct client address
     auto [it, inserted] = client_floor_.emplace(pkt.flow.src.addr, sample);
     if (!inserted && sample < it->second) it->second = sample;
     scored = sample - it->second;
@@ -116,6 +117,7 @@ void InbandLbPolicy::on_packet(const Packet& pkt, BackendId backend,
   if (auto decision = controller_.evaluate(tracker_, now)) {
     const std::size_t moved = apply_decision(*decision);
     if (moved > 0) {
+      // hotlint:allow(hot-growth): one record per alpha-shift, rate-limited
       shifts_.push_back({now, decision->from, moved, decision->worst_score_ns,
                          decision->best_score_ns});
       LOG_DEBUG() << "alpha-shift: moved " << moved << " slots off backend "

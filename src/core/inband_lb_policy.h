@@ -35,6 +35,7 @@
 #include "core/server_latency_tracker.h"
 #include "lb/maglev.h"
 #include "lb/policy.h"
+#include "util/hotpath.h"
 
 namespace inband {
 
@@ -97,9 +98,9 @@ class InbandLbPolicy final : public RoutingPolicy {
   InbandLbPolicy(const BackendPool& pool, InbandPolicyConfig config = {});
 
   std::string name() const override { return "inband-latency-aware"; }
-  BackendId pick(const FlowKey& flow, SimTime now) override;
-  void on_packet(const Packet& pkt, BackendId backend, SimTime now,
-                 bool new_flow) override;
+  INBAND_HOT BackendId pick(const FlowKey& flow, SimTime now) override;
+  INBAND_HOT void on_packet(const Packet& pkt, BackendId backend, SimTime now,
+                            bool new_flow) override;
   void on_flow_closed(const FlowKey& flow, BackendId backend,
                       SimTime now) override;
   void on_pool_change(const BackendPool& pool) override;

@@ -60,6 +60,7 @@ void ServerLatencyTracker::scores_into(SimTime now,
     auto& e = entries_[i];
     const auto s = score(static_cast<BackendId>(i), now);
     if (!s.has_value()) continue;
+    // hotlint:allow(hot-growth): caller-owned buffer, capacity retained
     out.push_back({static_cast<BackendId>(i), *s, e.last_sample, e.count});
   }
 }

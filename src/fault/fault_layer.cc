@@ -55,6 +55,7 @@ FaultLayer::~FaultLayer() { net_.set_interceptor(nullptr); }
 
 void FaultLayer::record_link_event(FaultEvent::Kind kind,
                                    const LinkRef& ref) {
+  // hotlint:allow(hot-growth): one record per injected fault, not per packet
   events_.push_back({kind, sim_.now(), ref.from, ref.to, ref.index});
 }
 
@@ -109,6 +110,7 @@ SendVerdict FaultLayer::on_send(const Packet& pkt, Ipv4 from, Ipv4 to) {
 
   if (link.down_count > 0) {
     ++counters_.get("fault.flap_drops");
+    // hotlint:allow(hot-growth): one id per dropped packet, faults only
     dropped_ids_.insert(pkt.pkt_id);
     record_link_event(FaultEvent::Kind::kFlapDrop, link.ref);
     return {.drop = true};
@@ -121,6 +123,7 @@ SendVerdict FaultLayer::on_send(const Packet& pkt, Ipv4 from, Ipv4 to) {
     if (now < spec->start || now >= spec->end) continue;
     if (spec->loss > 0.0 && link.rng.bernoulli(spec->loss)) {
       ++counters_.get("fault.loss");
+      // hotlint:allow(hot-growth): one id per dropped packet, faults only
       dropped_ids_.insert(pkt.pkt_id);
       record_link_event(FaultEvent::Kind::kLoss, link.ref);
       return {.drop = true};
@@ -153,6 +156,7 @@ SendVerdict FaultLayer::on_send(const Packet& pkt, Ipv4 from, Ipv4 to) {
     }
   }
   ++counters_.get("fault.passed");
+  // hotlint:allow(hot-growth): one id per faulted-but-forwarded packet
   if (touched) touched_forwarded_ids_.insert(pkt.pkt_id);
   return verdict;
 }

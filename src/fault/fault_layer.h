@@ -26,6 +26,7 @@
 #include "fault/fault_plan.h"
 #include "net/network.h"
 #include "telemetry/counters.h"
+#include "util/hotpath.h"
 #include "util/rng.h"
 
 namespace inband {
@@ -53,7 +54,7 @@ class FaultLayer final : public SendInterceptor {
   FaultLayer(const FaultLayer&) = delete;
   FaultLayer& operator=(const FaultLayer&) = delete;
 
-  SendVerdict on_send(const Packet& pkt, Ipv4 from, Ipv4 to) override;
+  INBAND_HOT SendVerdict on_send(const Packet& pkt, Ipv4 from, Ipv4 to) override;
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -37,6 +37,7 @@ void ConnTracker::insert(const FlowKey& flow, BackendId backend, SimTime now) {
       map_.find(flow) == map_.end()) {
     evict_one(now);
   }
+  // hotlint:allow(hot-growth): flow admission, bounded by max_entries above
   map_[flow] = Entry{backend, now, false, kNoTime};
 }
 

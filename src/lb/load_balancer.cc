@@ -38,6 +38,7 @@ void LoadBalancer::handle_packet(Packet pkt) {
       ++counters_.get("lb.drops_no_backend");
       return;
     }
+    // hotlint:allow(hot-growth): ConnTracker::insert, not a container op
     conntrack_.insert(pkt.flow, backend, now);
     new_flow = true;
     ++new_flows_per_backend_[backend];

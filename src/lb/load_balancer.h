@@ -18,6 +18,7 @@
 #include "lb/policy.h"
 #include "net/network.h"
 #include "telemetry/counters.h"
+#include "util/hotpath.h"
 
 namespace inband {
 
@@ -29,7 +30,7 @@ class LoadBalancer : public Host {
                BackendPool pool, std::unique_ptr<RoutingPolicy> policy,
                ConntrackConfig conntrack_config = {});
 
-  void handle_packet(Packet pkt) override;
+  INBAND_HOT void handle_packet(Packet pkt) override;
 
   // Control-plane pool updates (health checker, operator). The policy is
   // re-notified so *new* flows avoid an unhealthy backend; tracked

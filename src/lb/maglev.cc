@@ -57,6 +57,7 @@ void MaglevTable::build(const BackendPool& pool) {
     c.weight = b.weight;
     c.offset = hash_name(b.name, seed_) % table_size_;
     c.skip = hash_name(b.name, splitmix64(seed_)) % (table_size_ - 1) + 1;
+    // hotlint:allow(hot-growth): table rebuild runs at control-plane rate
     cands.push_back(c);
     max_weight = std::max(max_weight, b.weight);
   }
@@ -105,6 +106,7 @@ std::vector<double> MaglevTable::shares() const {
   std::vector<double> out(max_backend_id_ + 1, 0.0);
   for (BackendId id : table_) {
     if (id == kNoBackend) continue;
+    // hotlint:allow(hot-growth): share snapshot runs at restore-drift rate
     if (id >= out.size()) out.resize(id + 1, 0.0);
     out[id] += 1.0;
   }
@@ -120,6 +122,7 @@ std::size_t MaglevTable::shift_slots(BackendId from, double fraction) {
     if (id == kNoBackend || id == from) continue;
     if (std::find(receivers.begin(), receivers.end(), id) ==
         receivers.end()) {
+      // hotlint:allow(hot-growth): slot shift runs at control-plane rate
       receivers.push_back(id);
     }
   }

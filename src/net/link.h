@@ -16,6 +16,7 @@
 
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "util/hotpath.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -48,7 +49,7 @@ class Link {
 
   // Transmits `pkt` toward `dst`. Returns false if the packet was dropped by
   // the queue. Delivery is scheduled on the simulator.
-  bool transmit(Packet pkt, PacketSink& dst);
+  INBAND_HOT bool transmit(Packet pkt, PacketSink& dst);
 
   // Runtime-adjustable additional one-way delay (>= 0); applied to packets
   // transmitted after the change.

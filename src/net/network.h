@@ -20,6 +20,7 @@
 #include "net/link.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "util/hotpath.h"
 
 namespace inband {
 
@@ -72,7 +73,7 @@ class Network {
   bool has_link(Ipv4 from, Ipv4 to) const;
 
   // Stamps pkt_id / sent_at and transmits. Returns false on queue drop.
-  bool send(Ipv4 from, Ipv4 to, Packet pkt);
+  INBAND_HOT bool send(Ipv4 from, Ipv4 to, Packet pkt);
 
   // Observation hook invoked for every packet handed to a link (after
   // stamping, before delivery). Used by the trace recorder.

@@ -9,12 +9,15 @@
 // network.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "net/flow.h"
+#include "util/hotpath.h"
 #include "util/time.h"
 
 namespace inband {
@@ -29,6 +32,111 @@ struct AppPayload {
 struct MessageRef {
   std::uint64_t end_offset = 0;
   std::shared_ptr<const AppPayload> payload;
+};
+
+// Message container with inline storage for the common case.
+//
+// Rig packets carry zero or one message boundary (a pipelined request or a
+// response each fit in a single MSS); a std::vector here was the largest
+// per-packet heap allocation in the fig-3 rig. Two refs live inline; longer
+// lists (deep retransmission ranges) spill to a heap array. Only `push_msg`
+// ever allocates, and only past the inline capacity.
+class MsgList {
+ public:
+  static constexpr std::uint32_t kInline = 2;
+
+  MsgList() = default;
+  MsgList(std::initializer_list<MessageRef> init) {
+    for (const MessageRef& m : init) push_msg(m);
+  }
+  MsgList(const MsgList& other) { copy_from(other); }
+  MsgList(MsgList&& other) noexcept { move_from(std::move(other)); }
+  MsgList& operator=(const MsgList& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  MsgList& operator=(MsgList&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  ~MsgList() { clear(); }
+
+  void push_msg(MessageRef m) {
+    if (heap_ == nullptr) {
+      if (size_ < kInline) {
+        inline_[size_++] = std::move(m);
+        return;
+      }
+      INBAND_COLD_OK("spill past inline capacity: rig packets carry <=2 msgs");
+      spill(2 * kInline);
+    } else if (size_ == heap_cap_) {
+      INBAND_COLD_OK("heap regrowth only beyond inline capacity");
+      spill(2 * heap_cap_);
+    }
+    heap_[size_++] = std::move(m);
+  }
+
+  void clear() {
+    if (heap_ != nullptr) {
+      INBAND_COLD_OK("heap branch exists only after a >2-message spill");
+      delete[] heap_;
+      heap_ = nullptr;
+      heap_cap_ = 0;
+    } else {
+      for (std::uint32_t i = 0; i < size_; ++i) inline_[i] = MessageRef{};
+    }
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const MessageRef* begin() const { return data(); }
+  const MessageRef* end() const { return data() + size_; }
+  const MessageRef& operator[](std::size_t i) const { return data()[i]; }
+  const MessageRef& front() const { return data()[0]; }
+  const MessageRef& back() const { return data()[size_ - 1]; }
+
+ private:
+  const MessageRef* data() const { return heap_ != nullptr ? heap_ : inline_; }
+
+  void spill(std::uint32_t new_cap) {
+    MessageRef* grown = new MessageRef[new_cap];
+    MessageRef* old = heap_ != nullptr ? heap_ : inline_;
+    for (std::uint32_t i = 0; i < size_; ++i) grown[i] = std::move(old[i]);
+    delete[] heap_;
+    heap_ = grown;
+    heap_cap_ = new_cap;
+  }
+
+  void copy_from(const MsgList& other) {
+    for (const MessageRef& m : other) push_msg(m);
+  }
+
+  void move_from(MsgList&& other) noexcept {
+    size_ = other.size_;
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      heap_cap_ = other.heap_cap_;
+      other.heap_ = nullptr;
+      other.heap_cap_ = 0;
+    } else {
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        inline_[i] = std::move(other.inline_[i]);
+      }
+    }
+    other.size_ = 0;
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t heap_cap_ = 0;
+  MessageRef* heap_ = nullptr;  // null while the list fits inline
+  MessageRef inline_[kInline];
 };
 
 namespace tcpflag {
@@ -52,7 +160,7 @@ struct Packet {
   SimTime ts_ecr = kNoTime;  // echoed peer timestamp
 
   // Application message boundaries inside this segment (sender-ordered).
-  std::vector<MessageRef> msgs;
+  MsgList msgs;
 
   // Bookkeeping stamped by Network::send().
   std::uint64_t pkt_id = 0;

@@ -29,6 +29,8 @@ EventQueue::EventQueue() {
 }
 
 std::uint32_t EventQueue::alloc_slot_slow() {
+  INBAND_COLD_OK("slab growth: one chunk per kSlotsPerChunk slots; steady "
+                 "state recycles freed slots and never lands here");
   if (slot_count_ % kSlotsPerChunk == 0) {
     INBAND_ASSERT(slot_count_ < kNullSlot - kSlotsPerChunk,
                   "event pool exhausted");

@@ -11,6 +11,7 @@
 
 #include "sim/event_queue.h"
 #include "util/assert.h"
+#include "util/hotpath.h"
 #include "util/time.h"
 
 namespace inband {
@@ -48,7 +49,7 @@ class Simulator {
   void run_until(SimTime deadline);
 
   // Executes exactly one event if any; returns false when the queue is empty.
-  bool step();
+  INBAND_HOT bool step();
 
   // Makes run()/run_until() return after the current handler completes.
   void stop() { stopped_ = true; }

@@ -22,6 +22,7 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "tcp/config.h"
+#include "util/hotpath.h"
 #include "tcp/recv_buffer.h"
 #include "tcp/send_buffer.h"
 
@@ -88,7 +89,7 @@ class TcpConnection {
   // Hard abort: sends RST and tears down immediately.
   void abort();
 
-  void on_packet(const Packet& pkt);
+  INBAND_HOT void on_packet(const Packet& pkt);
 
   // --- Introspection (tests, apps, telemetry) ---
   TcpState state() const { return state_; }
@@ -130,7 +131,7 @@ class TcpConnection {
   void emit(Packet pkt);
   std::uint32_t advertised_window() const;
 
-  void try_send();
+  INBAND_HOT void try_send();
   void send_data_segment(std::uint64_t offset, std::uint32_t len,
                          bool retransmission);
   bool maybe_send_fin();

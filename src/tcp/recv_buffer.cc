@@ -3,21 +3,24 @@
 #include <algorithm>
 
 #include "util/assert.h"
+#include "util/hotpath.h"
 
 namespace inband {
 
-void RecvBuffer::deliver_messages(const std::vector<MessageRef>& msgs,
-                                  std::uint64_t limit, Delivery& out) {
+void RecvBuffer::deliver_messages(const MsgList& msgs, std::uint64_t limit,
+                                  Delivery& out) {
   for (const auto& m : msgs) {
     if (m.end_offset > limit) continue;
     if (m.end_offset <= last_delivered_msg_end_) continue;  // duplicate
     last_delivered_msg_end_ = m.end_offset;
-    out.messages.push_back(m);
+    out.messages.push_msg(m);
   }
 }
 
 void RecvBuffer::stash(std::uint64_t start, std::uint64_t end,
-                       const std::vector<MessageRef>& msgs) {
+                       const MsgList& msgs) {
+  INBAND_COLD_OK("out-of-order stash: loss/reorder recovery, off the "
+                 "in-order fast path");
   // Trim against existing segments to keep ooo_ non-overlapping. Message
   // refs from trimmed regions are safe to drop: the overlapping segment
   // already carries an identical ref (retransmissions repeat message
@@ -28,9 +31,9 @@ void RecvBuffer::stash(std::uint64_t start, std::uint64_t end,
     if (seg.start >= end) break;
     // Overlap: keep only the part before seg, recurse for the part after.
     if (s < seg.start) {
-      std::vector<MessageRef> head;
+      MsgList head;
       for (const auto& m : msgs) {
-        if (m.end_offset > s && m.end_offset <= seg.start) head.push_back(m);
+        if (m.end_offset > s && m.end_offset <= seg.start) head.push_msg(m);
       }
       OooSegment cut{s, seg.start, std::move(head)};
       ooo_.push_back(std::move(cut));
@@ -38,9 +41,9 @@ void RecvBuffer::stash(std::uint64_t start, std::uint64_t end,
     s = std::max(s, seg.end);
   }
   if (s < end) {
-    std::vector<MessageRef> tail;
+    MsgList tail;
     for (const auto& m : msgs) {
-      if (m.end_offset > s && m.end_offset <= end) tail.push_back(m);
+      if (m.end_offset > s && m.end_offset <= end) tail.push_msg(m);
     }
     ooo_.push_back({s, end, std::move(tail)});
   }
@@ -62,9 +65,9 @@ void RecvBuffer::drain(Delivery& out) {
   }
 }
 
-RecvBuffer::Delivery RecvBuffer::on_segment(
-    std::uint64_t start, std::uint64_t end,
-    const std::vector<MessageRef>& msgs) {
+RecvBuffer::Delivery RecvBuffer::on_segment(std::uint64_t start,
+                                            std::uint64_t end,
+                                            const MsgList& msgs) {
   INBAND_ASSERT(start <= end);
   Delivery out;
   if (end <= rcv_nxt_) {

@@ -11,7 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "net/packet.h"
+#include "net/packet.h"  // MessageRef, MsgList
 
 namespace inband {
 
@@ -22,14 +22,14 @@ class RecvBuffer {
 
   struct Delivery {
     std::uint64_t bytes = 0;  // newly delivered in-order payload bytes
-    std::vector<MessageRef> messages;
+    MsgList messages;
     bool out_of_order = false;  // segment did not advance rcv_nxt
     bool duplicate = false;     // segment carried no new data at all
   };
 
   // Ingests payload [start, end) carrying `msgs`. Offsets are absolute.
   Delivery on_segment(std::uint64_t start, std::uint64_t end,
-                      const std::vector<MessageRef>& msgs);
+                      const MsgList& msgs);
 
   std::uint64_t rcv_nxt() const { return rcv_nxt_; }
 
@@ -42,14 +42,13 @@ class RecvBuffer {
   struct OooSegment {
     std::uint64_t start;
     std::uint64_t end;
-    std::vector<MessageRef> msgs;
+    MsgList msgs;
   };
 
-  void stash(std::uint64_t start, std::uint64_t end,
-             const std::vector<MessageRef>& msgs);
+  void stash(std::uint64_t start, std::uint64_t end, const MsgList& msgs);
   void drain(Delivery& out);
-  void deliver_messages(const std::vector<MessageRef>& msgs,
-                        std::uint64_t limit, Delivery& out);
+  void deliver_messages(const MsgList& msgs, std::uint64_t limit,
+                        Delivery& out);
 
   std::uint64_t rcv_nxt_ = 1;
   std::uint64_t last_delivered_msg_end_ = 0;

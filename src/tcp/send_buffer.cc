@@ -10,18 +10,19 @@ void SendBuffer::append_message(std::shared_ptr<const AppPayload> payload,
                                 std::uint32_t wire_bytes) {
   INBAND_ASSERT(wire_bytes > 0, "empty message");
   end_ += wire_bytes;
+  // hotlint:allow(hot-growth): one record per app message, deque-amortized
   msgs_.push_back({end_, std::move(payload)});
 }
 
-std::vector<MessageRef> SendBuffer::messages_in(std::uint64_t range_start,
-                                                std::uint64_t range_end) const {
-  std::vector<MessageRef> out;
+MsgList SendBuffer::messages_in(std::uint64_t range_start,
+                                std::uint64_t range_end) const {
+  MsgList out;
   // msgs_ is sorted by end_offset; find the first with end_offset > start.
   auto it = std::partition_point(
       msgs_.begin(), msgs_.end(),
       [&](const MessageRef& m) { return m.end_offset <= range_start; });
   for (; it != msgs_.end() && it->end_offset <= range_end; ++it) {
-    out.push_back(*it);
+    out.push_msg(*it);
   }
   return out;
 }

@@ -10,7 +10,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <vector>
 
 #include "net/packet.h"
 
@@ -32,9 +31,10 @@ class SendBuffer {
   std::uint64_t end() const { return end_; }
 
   // Message refs with end_offset in (range_start, range_end]; used when
-  // building a segment covering that range.
-  std::vector<MessageRef> messages_in(std::uint64_t range_start,
-                                      std::uint64_t range_end) const;
+  // building a segment covering that range. Returns a MsgList so the common
+  // zero/one-message segment allocates nothing.
+  MsgList messages_in(std::uint64_t range_start,
+                      std::uint64_t range_end) const;
 
   // Drops bookkeeping for messages fully acknowledged below `snd_una`.
   void release_acked(std::uint64_t snd_una);

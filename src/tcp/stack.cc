@@ -3,6 +3,7 @@
 #include "check/invariant_auditor.h"
 #include "check/state_digest.h"
 #include "util/assert.h"
+#include "util/hotpath.h"
 #include "util/logging.h"
 #include "util/sorted_view.h"
 
@@ -87,6 +88,7 @@ void TcpStack::on_packet(Packet pkt) {
   if (pkt.has(tcpflag::kSyn) && !pkt.has(tcpflag::kAck)) {
     const auto lit = listeners_.find(pkt.flow.dst.port);
     if (lit != listeners_.end()) {
+      INBAND_COLD_OK("connection admission: once per flow, not per segment");
       auto conn = std::make_unique<TcpConnection>(
           *this, local_view, default_config_, make_isn(),
           /*active_open=*/false);

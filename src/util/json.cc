@@ -30,6 +30,7 @@ void JsonWriter::write_escaped(std::ostream& os, std::string_view s) {
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
+          // hotlint:allow(hot-io): stack formatting; hot only via key() name collision
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
           os << buf;
         } else {
@@ -116,6 +117,7 @@ JsonWriter& JsonWriter::value(double v) {
   char buf[64];
   // %.17g round-trips; trim to %g for readability where exactness is not
   // needed — bench metrics are measurements, not bit-exact state.
+  // hotlint:allow(hot-io): stack formatting; hot only via value() name collision
   std::snprintf(buf, sizeof buf, "%.6g", v);
   os_ << buf;
   return *this;

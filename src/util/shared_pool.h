@@ -1,0 +1,107 @@
+// Freelist-backed shared_ptr factory for fixed-type message objects.
+//
+// `SharedPool<T>::make(...)` is a drop-in replacement for
+// `std::make_shared<T>(...)` that recycles the single control-block+object
+// allocation through a freelist instead of returning it to the heap. In the
+// fig-3 rig the KV request and response objects were the last steady-state
+// per-packet allocations; with a per-host pool they cost a freelist pop.
+//
+// Lifetime: pooled objects routinely outlive their pool's owner — a packet
+// in flight holds its payload ref inside a pending simulator event, and the
+// rig destroys hosts before the simulator. The freelist state is therefore
+// itself a shared_ptr, kept alive by the allocator copy stored in every
+// outstanding control block; blocks released after the pool owner is gone
+// still land back in the (now orphaned) freelist, which frees everything
+// when the last outstanding ref drops.
+//
+// Shard-safety: the pool is a plain member object — no globals, no locks —
+// so per-shard ownership falls out of per-shard host ownership.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "util/hotpath.h"
+
+namespace inband {
+
+template <typename T>
+class SharedPool {
+ public:
+  SharedPool() = default;
+
+  // Pool-allocated equivalent of std::make_shared<T>(args...).
+  template <typename... Args>
+  std::shared_ptr<T> make(Args&&... args) {
+    // hotlint:allow(hot-alloc): routes through the pool freelist allocator
+    return std::allocate_shared<T>(Alloc<T>{state_},
+                                   std::forward<Args>(args)...);
+  }
+
+  std::size_t free_blocks() const { return state_->free.size(); }
+
+ private:
+  // One control-block-sized allocation class. `block_size` latches to the
+  // first size requested (allocate_shared's fused block for T); requests of
+  // any other size bypass the freelist.
+  struct State {
+    State() { free.reserve(kMaxFree); }
+    State(const State&) = delete;
+    State& operator=(const State&) = delete;
+    ~State() {
+      for (void* p : free) ::operator delete(p);
+    }
+    std::vector<void*> free;
+    std::size_t block_size = 0;
+    static constexpr std::size_t kMaxFree = 4096;
+  };
+
+  template <typename U>
+  struct Alloc {
+    using value_type = U;
+
+    explicit Alloc(std::shared_ptr<State> s) : state{std::move(s)} {}
+    template <typename V>
+    Alloc(const Alloc<V>& other) : state{other.state} {}  // rebind
+
+    U* allocate(std::size_t n) {
+      const std::size_t bytes = n * sizeof(U);
+      if (state->block_size == 0) state->block_size = bytes;
+      if (bytes == state->block_size && !state->free.empty()) {
+        void* p = state->free.back();
+        state->free.pop_back();
+        return static_cast<U*>(p);
+      }
+      INBAND_COLD_OK("freelist empty: pool warming or off-size request");
+      return static_cast<U*>(::operator new(bytes));
+    }
+
+    void deallocate(U* p, std::size_t n) {
+      const std::size_t bytes = n * sizeof(U);
+      if (bytes == state->block_size && state->free.size() < State::kMaxFree) {
+        // hotlint:allow(hot-growth): capacity reserved up front in State().
+        state->free.push_back(p);
+        return;
+      }
+      ::operator delete(p);
+    }
+
+    template <typename V>
+    bool operator==(const Alloc<V>& other) const {
+      return state == other.state;
+    }
+    template <typename V>
+    bool operator!=(const Alloc<V>& other) const {
+      return state != other.state;
+    }
+
+    std::shared_ptr<State> state;
+  };
+
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+}  // namespace inband

@@ -99,7 +99,7 @@ TEST(SendBuffer, ReleaseAckedDropsCoveredMessages) {
 
 TEST(RecvBuffer, InOrderDelivery) {
   RecvBuffer rb;
-  std::vector<MessageRef> msgs{{51, std::make_shared<TestPayload>(7)}};
+  MsgList msgs{{51, std::make_shared<TestPayload>(7)}};
   const auto d = rb.on_segment(1, 51, msgs);
   EXPECT_EQ(d.bytes, 50u);
   ASSERT_EQ(d.messages.size(), 1u);
@@ -130,7 +130,7 @@ TEST(RecvBuffer, DuplicateDetected) {
 TEST(RecvBuffer, OverlappingRetransmissionDeliversOnce) {
   RecvBuffer rb;
   auto payload = std::make_shared<TestPayload>(9);
-  std::vector<MessageRef> msgs{{41, payload}};
+  MsgList msgs{{41, payload}};
   rb.on_segment(21, 41, msgs);                    // ooo
   const auto d = rb.on_segment(1, 41, msgs);      // covers both
   EXPECT_EQ(d.bytes, 40u);

@@ -1,0 +1,83 @@
+// Approximate intra-project call graph over detlint's token stream.
+//
+// hotlint's pass 1. Everything here is lexical: function definitions are
+// recognized by signature shape (identifier, balanced parameter list,
+// optional const/noexcept/trailing-return/ctor-init-list, then `{`), with a
+// namespace/class scope stack supplying the qualifier for in-class method
+// bodies. Call sites are `name(` occurrences inside a body; member calls
+// (`x.f(` / `x->f(`) resolve by name against every same-named definition,
+// which doubles as the virtual-dispatch approximation — a call through an
+// interface fans out to each implementation of that method name.
+//
+// Known blind spots (documented in DESIGN.md §9): calls through
+// std::function or other type-erased callables (the *construction* is
+// flagged by hotlint's hot-stdfunc rule instead), destructor edges, calls
+// with explicit template arguments (`f<int>(...)`), and operator-overload
+// call sites. Preprocessor conditionals that unbalance braces degrade the
+// scan for that file only.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace detlint {
+
+// A function definition discovered in one file's token stream.
+struct FunctionDef {
+  std::string name;       // unqualified name ("transmit")
+  std::string qualifier;  // "Link" for Link::transmit / in-class methods
+  int file = -1;          // index into the caller's file list
+  int line = 0;
+  std::size_t body_begin = 0;  // token index just past the opening '{'
+  std::size_t body_end = 0;    // token index of the closing '}'
+};
+
+// "Qualifier::name" or "name".
+std::string display_name(const FunctionDef& def);
+
+// A call site inside a function body.
+struct CallSite {
+  std::string callee;      // unqualified callee name
+  std::string qualifier;   // "Cls" for Cls::fn(...); empty otherwise
+  bool member_call = false;  // recv.fn( / recv->fn(
+  int line = 0;
+  std::size_t token = 0;   // index of the callee identifier
+};
+
+// A justified cold region: INBAND_COLD_OK("reason") covers the rest of its
+// enclosing brace block (util/hotpath.h).
+struct ColdRegion {
+  std::size_t begin = 0;  // token index of the marker
+  std::size_t end = 0;    // token index of the enclosing block's '}'
+  int line = 0;
+  std::string reason;
+  bool used = false;
+};
+
+// Declarations a file exports to the analysis of files including it:
+// mutable namespace-scope variables (shard-safety) and names declared with
+// map-like types (operator[]-insert detection).
+struct StructuralDecls {
+  std::vector<std::string> mutable_globals;
+  std::vector<std::string> map_names;
+};
+
+// Everything pass 1 extracts from one file.
+struct FileStructure {
+  std::vector<FunctionDef> functions;   // in token order
+  std::vector<std::string> hot_names;   // names marked INBAND_HOT
+  std::vector<ColdRegion> cold_regions;
+  std::vector<int> bad_cold_lines;      // INBAND_COLD_OK without a reason
+  StructuralDecls decls;
+};
+
+FileStructure analyze_structure(const LexResult& lexed, int file);
+
+// Call sites within [def.body_begin, def.body_end).
+std::vector<CallSite> find_calls(const LexResult& lexed,
+                                 const FunctionDef& def);
+
+}  // namespace detlint

@@ -1,0 +1,19 @@
+// Waiver hygiene: an unknown rule name and a reason-less waiver are both
+// bad-waiver findings; a waiver that matches nothing is reported unused.
+#include <vector>
+
+class Sink {
+ public:
+  INBAND_HOT void push(int v) {
+    // hotlint:allow(hot-warp): no such rule
+    buf_.push_back(v);
+  }
+
+  int idle() const {
+    // hotlint:allow(hot-alloc): nothing here allocates, so this never fires
+    return 0;
+  }
+
+ private:
+  std::vector<int> buf_;
+};

@@ -1,0 +1,13 @@
+// A hazard-free hot path: fixed-size ring indexing, placement new into
+// caller-provided storage, and a level-guarded LOG_ macro line. hotlint
+// must stay silent.
+struct Slot {
+  alignas(8) unsigned char buf[32];
+};
+
+INBAND_HOT int enqueue(Slot* ring, unsigned mask, unsigned head, int value) {
+  Slot& s = ring[head & mask];
+  auto* v = new (s.buf) int{value};
+  LOG_TRACE() << "enqueued " << value;
+  return *v;
+}

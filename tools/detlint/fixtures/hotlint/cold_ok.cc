@@ -1,0 +1,28 @@
+// INBAND_COLD_OK guard: allocations on a declared-cold branch of a hot
+// function are waived, and calls made inside the cold region do not pull
+// their callees into the reachable set. hotlint must report zero unwaived
+// findings here.
+#include <vector>
+
+void build_report(std::vector<int>& out) {
+  out.push_back(1);  // would be hot-growth if this function were reachable
+}
+
+class Table {
+ public:
+  INBAND_HOT int lookup(int key) {
+    if (key >= 0 && static_cast<unsigned>(key) < size_) return slots_[key];
+    INBAND_COLD_OK("miss path: rebuilds the table, off the per-packet path");
+    auto* fresh = new int[64];
+    delete[] slots_;
+    slots_ = fresh;
+    size_ = 64;
+    std::vector<int> scratch;
+    build_report(scratch);
+    return 0;
+  }
+
+ private:
+  int* slots_ = nullptr;
+  unsigned size_ = 0;
+};

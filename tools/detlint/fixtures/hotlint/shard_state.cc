@@ -1,0 +1,12 @@
+// Shard-safety violations: a hot function touching mutable namespace-scope
+// state, and a mutable function-local static. Either one makes a shard's
+// behavior depend on its siblings, breaking parallel determinism.
+#include <cstdint>
+
+std::uint64_t g_packets_seen = 0;
+
+INBAND_HOT void count_packet(int shard) {
+  static int last_shard = -1;
+  last_shard = shard;
+  ++g_packets_seen;
+}

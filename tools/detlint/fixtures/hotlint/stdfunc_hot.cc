@@ -1,0 +1,29 @@
+// Replica of the pre-slab event queue (PR 4 rewrote it): type-erased
+// std::function handlers stored in a node-based map, with a fresh heap
+// node allocated on every push. hotlint must flag the std::function
+// construction, the growth-capable emplace, and the raw allocation —
+// all on the hot push path.
+#include <cstdint>
+#include <functional>
+#include <map>
+
+using SimTime = long long;
+using EventId = unsigned long long;
+
+class LegacyQueue {
+ public:
+  INBAND_HOT EventId push(SimTime t, void (*raw)(void*), void* arg) {
+    const EventId id = next_id_++;
+    std::function<void()> fn = [raw, arg] { raw(arg); };
+    handlers_.emplace(id, fn);
+    times_[id] = t;
+    auto* node = new EventId{id};
+    delete node;
+    return id;
+  }
+
+ private:
+  EventId next_id_ = 1;
+  std::map<EventId, std::function<void()>> handlers_;
+  std::map<EventId, SimTime> times_;
+};

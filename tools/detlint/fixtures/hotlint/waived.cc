@@ -1,0 +1,19 @@
+// Every hazard here carries a justified allow-comment waiver, including the
+// shard-global (which only the comment form can excuse). hotlint must exit
+// 0 and count them all as waived.
+#include <vector>
+
+long g_epoch = 0;
+
+class Admission {
+ public:
+  INBAND_HOT void admit(int flow) {
+    // hotlint:allow(hot-growth): flow admission, bounded by the eviction cap
+    flows_.push_back(flow);
+    // hotlint:allow(shard-global): epoch counter is read-mostly and fenced
+    ++g_epoch;
+  }
+
+ private:
+  std::vector<int> flows_;
+};

@@ -1,0 +1,93 @@
+// hotlint: call-graph-aware hot-path and shard-safety analyzer.
+//
+// detlint's sibling. Pass 1 (callgraph.h) extracts function definitions,
+// call sites, INBAND_HOT marks, INBAND_COLD_OK regions, and shard-relevant
+// declarations from the token stream. Pass 2 walks the approximate call
+// graph from the hot roots and reports hazards only in reachable code:
+//
+//   hot-alloc    operator new/delete, malloc family, make_shared /
+//                make_unique / allocate_shared on a hot path
+//   hot-stdfunc  std::function construction (type-erased callable setup
+//                allocates for captures beyond the SBO budget)
+//   hot-growth   growth-capable container ops (push_back, insert, resize,
+//                ...) and operator[] on map-like names (may insert)
+//   hot-string   std::string construction, std::to_string, stringstreams
+//   hot-throw    throw expressions (unwinding is unbounded work)
+//   hot-io       stdio/iostream/file I/O and system(); level-guarded LOG_*
+//                macro lines are exempt
+//   hot-block    mutexes, lock guards, condition variables, sleeps
+//   shard-global use of mutable namespace-scope state (breaks shard
+//                independence and, with it, parallel determinism)
+//   shard-static mutable function-local statics
+//
+// Waivers: hot-* findings are waived by an INBAND_COLD_OK("reason") region
+// (util/hotpath.h) covering the hazard, or by a
+// `// hotlint:allow(<rule>): <reason>` comment on the finding's line or the
+// line above. shard-* findings require the comment form — cold regions
+// excuse slow-path work, not shared state. Reasons are mandatory; malformed
+// or reason-less waivers are `bad-waiver` findings.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace detlint {
+
+// One file to analyze: display path plus its full source text.
+struct HotInput {
+  std::string path;
+  std::string source;
+};
+
+struct HotReport {
+  std::vector<Finding> findings;             // across all files, sorted
+  std::vector<std::string> files_scanned;    // sorted display paths
+  std::vector<UnusedWaiver> unused_waivers;
+  std::vector<std::string> unused_waiver_files;  // parallel to unused_waivers
+  std::vector<std::string> errors;
+  // Graph statistics, echoed into the JSON report.
+  std::size_t functions = 0;
+  std::size_t roots = 0;
+  std::size_t edges = 0;
+  std::size_t reachable = 0;
+
+  std::size_t unwaived() const;
+  std::size_t waived() const;
+};
+
+// All hotlint rule names, for CLI validation and --list-rules.
+const std::vector<std::string>& hot_rule_names();
+
+// Analyzes a set of files as one program: the call graph spans all of them,
+// and quoted includes resolve against the set by path suffix. Inputs are
+// processed in sorted path order regardless of the order given.
+HotReport analyze_hot(std::vector<HotInput> inputs);
+
+// Discovers C++ sources under `paths` (same extension set and ordering
+// rules as detlint's scanner) and analyzes them.
+HotReport scan_hot(const std::vector<std::string>& paths);
+
+// Human-readable report with root->hazard call chains. Returns the process
+// exit code: 0 when no unwaived findings and no errors, 1 otherwise.
+int render_hot_text(const HotReport& report, std::ostream& os);
+
+// Machine-readable JSON (schema in README.md): detlint's schema plus a
+// per-finding "chain" array and a top-level "graph" object.
+int render_hot_json(const HotReport& report, std::ostream& os);
+
+enum class CallgraphFormat { kDot, kJson };
+
+// Writes the pass-1 call graph (every function and resolved edge, hot roots
+// and reachability marked) without running the hazard rules.
+void dump_callgraph(std::vector<HotInput> inputs, CallgraphFormat format,
+                    std::ostream& os);
+
+// Discovery + dump_callgraph. Returns 0, or 1 when discovery failed.
+int dump_callgraph_paths(const std::vector<std::string>& paths,
+                         CallgraphFormat format, std::ostream& os);
+
+}  // namespace detlint

@@ -1,0 +1,66 @@
+// hotlint — call-graph-aware hot-path / shard-safety linter.
+//
+//   hotlint [--json] [--callgraph=dot|json] [--list-rules] <file-or-dir>...
+//
+// Exit codes: 0 = clean (waived findings allowed), 1 = unwaived findings or
+// unreadable inputs, 2 = usage error. See tools/detlint/README.md and
+// DESIGN.md §9 for the rule taxonomy and the INBAND_HOT / INBAND_COLD_OK
+// annotation contract (src/util/hotpath.h).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hotlint.h"
+
+namespace {
+constexpr char kUsage[] =
+    "usage: hotlint [--json] [--callgraph=dot|json] [--list-rules] "
+    "<file-or-dir>...\n";
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool callgraph = false;
+  detlint::CallgraphFormat format = detlint::CallgraphFormat::kDot;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--callgraph=", 0) == 0) {
+      const std::string fmt = arg.substr(12);
+      if (fmt == "dot") {
+        format = detlint::CallgraphFormat::kDot;
+      } else if (fmt == "json") {
+        format = detlint::CallgraphFormat::kJson;
+      } else {
+        std::cerr << "hotlint: unknown callgraph format: " << fmt << "\n";
+        return 2;
+      }
+      callgraph = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : detlint::hot_rule_names()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "hotlint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (callgraph) {
+    return detlint::dump_callgraph_paths(paths, format, std::cout);
+  }
+  const detlint::HotReport report = detlint::scan_hot(paths);
+  return json ? detlint::render_hot_json(report, std::cout)
+              : detlint::render_hot_text(report, std::cout);
+}

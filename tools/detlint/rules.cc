@@ -7,6 +7,8 @@
 #include <tuple>
 #include <vector>
 
+#include "waivers.h"
+
 namespace detlint {
 namespace {
 
@@ -89,106 +91,25 @@ class Analyzer {
   }
 
  private:
-  struct Waiver {
-    int line = 0;
-    std::vector<std::string> rules;
-    std::string reason;
-    bool used = false;
-  };
-
   const Token& tok(std::size_t i) const { return toks_[i]; }
   std::size_t size() const { return toks_.size(); }
 
   void add(std::string rule, int line, std::string message) {
     report_.findings.push_back(
-        {std::move(rule), path_, line, std::move(message), false, {}});
+        {std::move(rule), path_, line, std::move(message), false, {}, {}});
   }
 
-  // --- waivers --------------------------------------------------------------
-
-  static std::string trim(std::string s) {
-    const auto b = s.find_first_not_of(" \t");
-    if (b == std::string::npos) return {};
-    const auto e = s.find_last_not_of(" \t\r");
-    return s.substr(b, e - b + 1);
-  }
+  // --- waivers (shared engine, waivers.h) -----------------------------------
 
   void collect_waivers() {
-    for (const Comment& c : lexed_.comments) {
-      const std::size_t at = c.text.find("detlint:allow");
-      if (at == std::string::npos) continue;
-      // Parse detlint:allow(<rules>): <reason> by hand; a marker that does
-      // not parse is a finding, not silently ignored.
-      std::size_t p = at + std::string_view("detlint:allow").size();
-      const std::size_t open = c.text.find('(', p);
-      const std::size_t close =
-          open == std::string::npos ? std::string::npos
-                                    : c.text.find(')', open);
-      const std::size_t colon =
-          close == std::string::npos ? std::string::npos
-                                     : c.text.find(':', close);
-      if (open == std::string::npos || close == std::string::npos ||
-          colon == std::string::npos) {
-        add("bad-waiver", c.line,
-            "malformed waiver; expected detlint:allow(<rule>): <reason>");
-        continue;
-      }
-      const std::string reason = trim(c.text.substr(colon + 1));
-      if (reason.empty()) {
-        add("bad-waiver", c.line, "waiver is missing a justification");
-        continue;
-      }
-      Waiver w;
-      w.line = c.line;
-      w.reason = reason;
-      std::string rules = c.text.substr(open + 1, close - open - 1);
-      std::size_t start = 0;
-      while (start <= rules.size()) {
-        const std::size_t comma = rules.find(',', start);
-        const std::string name = trim(rules.substr(
-            start, comma == std::string::npos ? std::string::npos
-                                              : comma - start));
-        if (!name.empty()) w.rules.push_back(name);
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-      bool ok = !w.rules.empty();
-      for (const std::string& r : w.rules) {
-        ok = ok && std::find(rule_names().begin(), rule_names().end(), r) !=
-                       rule_names().end();
-      }
-      if (!ok) {
-        add("bad-waiver", c.line, "waiver names an unknown rule: " + rules);
-        continue;
-      }
-      waivers_.push_back(std::move(w));
-    }
+    waivers_ = collect_comment_waivers(lexed_.comments, "detlint:allow",
+                                       path_, rule_names(), report_.findings);
   }
 
   void apply_waivers() {
-    for (Finding& f : report_.findings) {
-      if (f.rule == "bad-waiver") continue;
-      for (Waiver& w : waivers_) {
-        const bool near = w.line == f.line || w.line == f.line - 1;
-        const bool covers =
-            std::find(w.rules.begin(), w.rules.end(), f.rule) != w.rules.end();
-        if (near && covers) {
-          f.waived = true;
-          f.waiver_reason = w.reason;
-          w.used = true;
-          break;
-        }
-      }
-    }
-    for (const Waiver& w : waivers_) {
-      if (!w.used) {
-        std::string joined;
-        for (const std::string& r : w.rules) {
-          if (!joined.empty()) joined += ",";
-          joined += r;
-        }
-        report_.unused_waivers.push_back({w.line, joined});
-      }
+    apply_comment_waivers(waivers_, report_.findings);
+    for (UnusedWaiver& u : collect_unused_waivers(waivers_)) {
+      report_.unused_waivers.push_back(std::move(u));
     }
   }
 

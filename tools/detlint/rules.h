@@ -41,6 +41,9 @@ struct Finding {
   std::string message;
   bool waived = false;
   std::string waiver_reason;
+  // hotlint only: call chain root -> function containing the hazard, each
+  // entry "Qualified::name (file:line)". Empty for detlint findings.
+  std::vector<std::string> chain;
 };
 
 struct UnusedWaiver {

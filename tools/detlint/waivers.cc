@@ -1,0 +1,109 @@
+#include "waivers.h"
+
+#include <algorithm>
+
+namespace detlint {
+namespace {
+
+std::string trim(std::string s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<Waiver> collect_comment_waivers(
+    const std::vector<Comment>& comments, const std::string& marker,
+    const std::string& display_path,
+    const std::vector<std::string>& known_rules, std::vector<Finding>& bad) {
+  std::vector<Waiver> out;
+  const auto add_bad = [&](int line, std::string message) {
+    bad.push_back({"bad-waiver", display_path, line, std::move(message), false,
+                   {}, {}});
+  };
+  for (const Comment& c : comments) {
+    const std::size_t at = c.text.find(marker);
+    if (at == std::string::npos) continue;
+    // Parse <marker>(<rules>): <reason> by hand; a marker that does not
+    // parse is a finding, not silently ignored.
+    const std::size_t open = c.text.find('(', at + marker.size());
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : c.text.find(')', open);
+    const std::size_t colon =
+        close == std::string::npos ? std::string::npos
+                                   : c.text.find(':', close);
+    if (open == std::string::npos || close == std::string::npos ||
+        colon == std::string::npos) {
+      add_bad(c.line, "malformed waiver; expected " + marker +
+                          "(<rule>): <reason>");
+      continue;
+    }
+    const std::string reason = trim(c.text.substr(colon + 1));
+    if (reason.empty()) {
+      add_bad(c.line, "waiver is missing a justification");
+      continue;
+    }
+    Waiver w;
+    w.line = c.line;
+    w.reason = reason;
+    std::string rules = c.text.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= rules.size()) {
+      const std::size_t comma = rules.find(',', start);
+      const std::string name = trim(rules.substr(
+          start,
+          comma == std::string::npos ? std::string::npos : comma - start));
+      if (!name.empty()) w.rules.push_back(name);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    bool ok = !w.rules.empty();
+    for (const std::string& r : w.rules) {
+      ok = ok && std::find(known_rules.begin(), known_rules.end(), r) !=
+                     known_rules.end();
+    }
+    if (!ok) {
+      add_bad(c.line, "waiver names an unknown rule: " + rules);
+      continue;
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void apply_comment_waivers(std::vector<Waiver>& waivers,
+                           std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    if (f.rule == "bad-waiver" || f.waived) continue;
+    for (Waiver& w : waivers) {
+      const bool near = w.line == f.line || w.line == f.line - 1;
+      const bool covers =
+          std::find(w.rules.begin(), w.rules.end(), f.rule) != w.rules.end();
+      if (near && covers) {
+        f.waived = true;
+        f.waiver_reason = w.reason;
+        w.used = true;
+        break;
+      }
+    }
+  }
+}
+
+std::vector<UnusedWaiver> collect_unused_waivers(
+    const std::vector<Waiver>& waivers) {
+  std::vector<UnusedWaiver> out;
+  for (const Waiver& w : waivers) {
+    if (w.used) continue;
+    std::string joined;
+    for (const std::string& r : w.rules) {
+      if (!joined.empty()) joined += ",";
+      joined += r;
+    }
+    out.push_back({w.line, joined});
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,48 @@
+// Shared comment-waiver engine for detlint and hotlint.
+//
+// Both analyzers use the same mandatory-justification mechanics:
+//
+//   // <marker>(<rule>[,<rule>...]): <reason>
+//
+// on the finding's line or the line directly above waives matching findings.
+// The reason is non-optional; a marker that does not parse, lacks a reason,
+// or names an unknown rule is itself a `bad-waiver` finding and cannot be
+// waived. Waivers that cover nothing surface as unused-waiver warnings so
+// stale justifications rot visibly. detlint uses marker `detlint:allow`;
+// hotlint uses `hotlint:allow`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "rules.h"  // Finding, UnusedWaiver
+
+namespace detlint {
+
+struct Waiver {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool used = false;
+};
+
+// Parses `<marker>(...)` waivers out of a file's comments. Malformed
+// markers append `bad-waiver` findings (anchored at `display_path`) to
+// `bad`; `known_rules` validates the rule list.
+std::vector<Waiver> collect_comment_waivers(
+    const std::vector<Comment>& comments, const std::string& marker,
+    const std::string& display_path,
+    const std::vector<std::string>& known_rules, std::vector<Finding>& bad);
+
+// Waives findings sitting on a waiver's line or the line directly below it
+// whose rule the waiver names. `bad-waiver` findings are never waived.
+// Matching waivers are marked used.
+void apply_comment_waivers(std::vector<Waiver>& waivers,
+                           std::vector<Finding>& findings);
+
+// Waivers that covered nothing, with their rule lists comma-joined.
+std::vector<UnusedWaiver> collect_unused_waivers(
+    const std::vector<Waiver>& waivers);
+
+}  // namespace detlint
