@@ -1,0 +1,298 @@
+// ABLATION — the controller zoo under fire.
+//
+// Sweeps every registered WeightController (α-shift, KnapsackLB gauging,
+// distributed gradient descent, shortest-queue and its stale-view variant)
+// over a grid of fault plans on the Fig. 3 cluster rig:
+//
+//   clean  — only the mid-run +1 ms delay on the LB→victim path;
+//   loss   — plus 1% loss / 1% reorder / 0.2% dup / 20 us jitter everywhere;
+//   flap   — plus a scheduled outage of one LB→server link before injection;
+//   stall  — plus a server process freeze before injection.
+//
+// Per (controller, plan) cell it reports the three quantities the zoo is
+// judged on:
+//   * convergence_ms — injection → victim slot share below half its fair
+//     share (the reaction-time claim, generalized);
+//   * steady_p95_us / steady_p99_us — client GET latency in the settled
+//     final quarter of the run;
+//   * oscillation_tv_per_epoch — total variation of the share vector per
+//     16 ms epoch over that settled window: 0 for a law at rest, high for
+//     one that herds (scenario/metrics.h).
+//
+// Every cell runs twice with the same seed; the state digests must match or
+// the harness exits non-zero — controller determinism is part of the result,
+// not an assumption. The JSON report self-validates against its schema
+// (exit non-zero on mismatch), so CI can run `--quick` as a smoke test.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/cluster_rig.h"
+#include "util/bench_cli.h"
+#include "util/json.h"
+
+using namespace inband;
+
+namespace {
+
+struct PlanSpec {
+  const char* name;
+  FaultPlan plan;
+};
+
+// The fault grid, windows scaled to the run length. Disruptions (flap,
+// stall) land in the first half so the post-injection convergence window
+// stays clean; background noise runs throughout.
+std::vector<PlanSpec> make_plans(SimTime duration) {
+  std::vector<PlanSpec> plans;
+  plans.push_back({"clean", {}});
+
+  plans.push_back({"loss", make_noise_plan(0.01, 0.01, 0.002, us(20))});
+
+  FaultPlan flap;
+  LinkFlapSpec f;
+  f.scope = LinkScope::kLbToServer;
+  f.index = 1;  // not the delay victim: two distinct disturbances
+  f.down_at = duration / 4;
+  f.up_at = duration / 4 + duration / 16;
+  flap.flaps.push_back(f);
+  plans.push_back({"flap", flap});
+
+  FaultPlan stall;
+  ServerFaultSpec s;
+  s.kind = ServerFaultSpec::Kind::kStall;
+  s.server = 1;
+  s.at = duration / 4;
+  s.until = duration / 4 + duration / 8;
+  stall.servers.push_back(s);
+  plans.push_back({"stall", stall});
+  return plans;
+}
+
+struct CellResult {
+  std::string controller;
+  std::string plan;
+  double convergence_ms = -1.0;  // -1: victim never drained
+  double steady_p95_us = 0.0;
+  double steady_p99_us = 0.0;
+  double oscillation_tv_per_epoch = 0.0;
+  std::uint64_t updates = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t digest = 0;
+  bool digest_match = false;
+};
+
+ClusterRigConfig cell_config(ControllerKind kind, const FaultPlan& plan,
+                             std::int64_t seed, SimTime duration,
+                             int servers) {
+  ClusterRigConfig cfg;
+  cfg.mode = LbMode::kInband;
+  cfg.num_servers = servers;
+  cfg.num_client_hosts = 2;
+  cfg.duration = duration;
+  cfg.inject_time = duration / 2;
+  cfg.inject_extra = ms(1);
+  cfg.victim = 0;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.fault = plan;
+  cfg.client.connections = 4;
+  cfg.client.pipeline = 4;
+  cfg.client.requests_per_conn = 50;
+  cfg.server.workers = 8;
+  cfg.maglev_table_size = 1021;
+  cfg.share_sample_interval = ms(1);
+  cfg.audit_interval = 0;
+  cfg.inband.ensemble.epoch = ms(16);
+  cfg.inband.controller_kind = kind;
+  cfg.inband.controller.cooldown = ms(1);
+  cfg.inband.controller.min_samples = 3;
+  cfg.inband.tracker.ewma_tau = ms(2);
+  return cfg;
+}
+
+constexpr SimTime kOscEpoch = ms(16);
+
+CellResult run_cell(ControllerKind kind, const PlanSpec& spec,
+                    std::int64_t seed, SimTime duration, int servers) {
+  const ClusterRigConfig cfg =
+      cell_config(kind, spec.plan, seed, duration, servers);
+  const SimTime inj = cfg.inject_time;
+  const SimTime steady_from = inj + (duration - inj) / 2;
+
+  CellResult cell;
+  cell.controller = controller_kind_name(kind);
+  cell.plan = spec.name;
+
+  std::uint64_t digests[2] = {0, 0};
+  for (int run = 0; run < 2; ++run) {
+    ClusterRig rig{cfg};
+    rig.run();
+    digests[run] = rig.state_digest();
+    if (run != 0) continue;
+
+    // Metrics come from the first run; the second exists only to prove the
+    // first reproduces.
+    const double fair = 1.0 / static_cast<double>(servers);
+    const SimTime drained = share_drained_at(
+        rig.share_history(), static_cast<std::size_t>(cfg.victim), fair / 2.0,
+        inj);
+    if (drained != kNoTime) cell.convergence_ms = to_ms(drained - inj);
+    const auto latency = rig.get_latency_samples();
+    cell.steady_p95_us =
+        percentile_in_window(latency, steady_from, duration, 0.95) / 1e3;
+    cell.steady_p99_us =
+        percentile_in_window(latency, steady_from, duration, 0.99) / 1e3;
+    cell.oscillation_tv_per_epoch = weight_total_variation_per_epoch(
+        rig.share_history(), kOscEpoch, steady_from, duration);
+    auto* policy = rig.inband_policy();
+    cell.updates = policy->controller().shifts();
+    cell.samples = policy->samples_total();
+  }
+  cell.digest = digests[0];
+  cell.digest_match = digests[0] == digests[1];
+  return cell;
+}
+
+const char* const kRequiredCellKeys[] = {
+    "controller",    "plan",          "convergence_ms",
+    "steady_p95_us", "steady_p99_us", "oscillation_tv_per_epoch",
+    "updates",       "digest",        "digest_match",
+};
+
+bool validate_report(const std::string& path, std::size_t expected_cells,
+                     std::string* error) {
+  auto root = json_parse_file(path, error);
+  if (root == nullptr) return false;
+  const JsonValue* schema = root->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str_v != BenchCli::kSchema) {
+    *error = "bad or missing schema tag";
+    return false;
+  }
+  const JsonValue* metrics = root->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    *error = "missing metrics object";
+    return false;
+  }
+  const JsonValue* cells = metrics->find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    *error = "missing metrics.cells array";
+    return false;
+  }
+  if (cells->arr_v.size() != expected_cells) {
+    *error = "metrics.cells has wrong cardinality";
+    return false;
+  }
+  for (const auto& cell : cells->arr_v) {
+    for (const char* key : kRequiredCellKeys) {
+      if (cell.find(key) == nullptr) {
+        *error = std::string{"cell missing key: "} + key;
+        return false;
+      }
+    }
+    const JsonValue* match = cell.find("digest_match");
+    if (!match->is_bool()) {
+      *error = "cell digest_match is not a bool";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchCli cli{"ablation_controllers",
+               "controller zoo vs fault plans: convergence, steady tails, "
+               "oscillation"};
+  std::int64_t duration_ms = 4000;
+  std::int64_t servers = 3;
+  std::string only_controller;
+  cli.flags().add("duration_ms", &duration_ms, "simulated ms per cell");
+  cli.flags().add("servers", &servers, "rig server count");
+  cli.flags().add("controller", &only_controller,
+                  "restrict the sweep to one controller (by name)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.quick()) {
+    duration_ms = 800;
+  }
+  const SimTime duration = ms(duration_ms);
+
+  std::vector<ControllerKind> kinds;
+  if (only_controller.empty()) {
+    kinds = controller_registry();
+  } else {
+    const auto kind = controller_kind_from_name(only_controller);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "unknown controller: %s\n", only_controller.c_str());
+      return 1;
+    }
+    kinds.push_back(*kind);
+  }
+  const auto plans = make_plans(duration);
+
+  std::vector<CellResult> cells;
+  bool all_match = true;
+  std::fprintf(stderr,
+               "%-22s %-6s %14s %12s %12s %10s %8s\n", "controller", "plan",
+               "convergence_ms", "p95_us", "p99_us", "osc_tv", "updates");
+  for (const ControllerKind kind : kinds) {
+    for (const auto& spec : plans) {
+      CellResult cell =
+          run_cell(kind, spec, cli.seed(), duration,
+                   static_cast<int>(servers));
+      all_match = all_match && cell.digest_match;
+      std::fprintf(stderr, "%-22s %-6s %14.2f %12.1f %12.1f %10.4f %8llu%s\n",
+                   cell.controller.c_str(), cell.plan.c_str(),
+                   cell.convergence_ms, cell.steady_p95_us, cell.steady_p99_us,
+                   cell.oscillation_tv_per_epoch,
+                   static_cast<unsigned long long>(cell.updates),
+                   cell.digest_match ? "" : "  DIGEST MISMATCH");
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const bool wrote = cli.write_json([&](JsonWriter& w) {
+    w.kv("duration_ms", duration_ms);
+    w.kv("servers", servers);
+    w.kv("plans", static_cast<std::int64_t>(plans.size()));
+    w.key("cells").begin_array();
+    for (const auto& cell : cells) {
+      w.begin_object();
+      w.kv("controller", cell.controller);
+      w.kv("plan", cell.plan);
+      w.kv("convergence_ms", cell.convergence_ms);
+      w.kv("steady_p95_us", cell.steady_p95_us);
+      w.kv("steady_p99_us", cell.steady_p99_us);
+      w.kv("oscillation_tv_per_epoch", cell.oscillation_tv_per_epoch);
+      w.kv("updates", cell.updates);
+      w.kv("samples", cell.samples);
+      char hex[32];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(cell.digest));
+      w.kv("digest", hex);
+      w.kv("digest_match", cell.digest_match);
+      w.end_object();
+    }
+    w.end_array();
+  });
+  if (!wrote) return 1;
+
+  int rc = 0;
+  if (!all_match) {
+    std::fprintf(stderr, "FAIL: same-seed cell digests diverged\n");
+    rc = 1;
+  }
+  if (!cli.json_path().empty()) {
+    std::string error;
+    if (!validate_report(cli.json_path(), cells.size(), &error)) {
+      std::fprintf(stderr, "FAIL: %s schema: %s\n", cli.json_path().c_str(),
+                   error.c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "report ok: %s\n", cli.json_path().c_str());
+    }
+  }
+  return rc;
+}

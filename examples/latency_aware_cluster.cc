@@ -1,7 +1,7 @@
 // Configurable cluster demo: compare any routing policy on the Fig. 3 rig.
 //
 //   $ ./latency_aware_cluster --mode=inband --servers=4 --duration_s=6
-//         [--inject_ms=1 --alpha=0.1]
+//         [--inject_ms=1 --alpha=0.1 --controller=gradient]
 //
 // Prints a p95-per-interval latency series (CSV to stdout) followed by a
 // per-server and controller summary.
@@ -32,6 +32,7 @@ LbMode parse_mode(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::string mode = "inband";
+  std::string controller = "alpha-shift";
   std::int64_t servers = 2;
   std::int64_t clients = 2;
   std::int64_t duration_s = 6;
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
 
   FlagSet flags{"latency-aware LB cluster demo"};
   flags.add("mode", &mode, "static|inband|rr|leastconn|random");
+  flags.add("controller", &controller,
+            "in-band control law: alpha-shift|knapsack|gradient|"
+            "shortest-queue|shortest-queue-stale");
   flags.add("servers", &servers, "number of KV servers");
   flags.add("clients", &clients, "number of client hosts");
   flags.add("duration_s", &duration_s, "simulated seconds");
@@ -78,6 +82,12 @@ int main(int argc, char** argv) {
   cfg.inband.ensemble.epoch = ms(16);
   cfg.inband.controller.alpha = alpha;
   cfg.inband.controller.cooldown = ms(1);
+  if (const auto kind = controller_kind_from_name(controller)) {
+    cfg.inband.controller_kind = *kind;
+  } else {
+    std::fprintf(stderr, "unknown controller '%s', using alpha-shift\n",
+                 controller.c_str());
+  }
 
   if (loss > 0.0 || reorder > 0.0 || dup > 0.0 || fault_jitter_us > 0) {
     cfg.fault = make_noise_plan(loss, reorder, dup, us(fault_jitter_us),
@@ -122,7 +132,9 @@ int main(int argc, char** argv) {
   }
   if (auto* policy = rig.inband_policy()) {
     std::fprintf(stderr,
-                 "in-band: %llu samples, %llu shifts, victim share %.1f%%\n",
+                 "in-band (%s): %llu samples, %llu updates, "
+                 "victim share %.1f%%\n",
+                 policy->controller().name(),
                  static_cast<unsigned long long>(policy->samples_total()),
                  static_cast<unsigned long long>(
                      policy->controller().shifts()),

@@ -1,4 +1,4 @@
-// Pre-pool reference implementations, kept for differential testing and
+// Pre-rework reference implementations, kept for differential testing and
 // benchmarking.
 //
 // LegacyEventQueue and LegacyFlowStateTable are the event queue and flow
@@ -7,19 +7,29 @@
 // They are the behavioral spec the reworked implementations must match —
 // tests drive identical operation sequences through old and new and compare
 // pop order, eviction victims, and digests; micro_dataplane benches them as
-// the "before" column of the speedup claim. Not for production use.
+// the "before" column of the speedup claim.
+//
+// LegacyAlphaShiftController is the α-shift controller as it existed before
+// it was rehomed onto the WeightController interface: the oracle the
+// refactored controller must match decision-for-decision, bit for bit.
+//
+// Not for production use.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "check/state_digest.h"
+#include "core/alpha_shift_controller.h"  // AlphaShiftConfig / ShiftDecision
 #include "core/flow_state_table.h"
+#include "core/server_latency_tracker.h"
 #include "net/flow.h"
 #include "sim/event_queue.h"  // EventId / kInvalidEventId
+#include "telemetry/ewma.h"
 #include "util/assert.h"
 #include "util/time.h"
 
@@ -190,6 +200,94 @@ class LegacyFlowStateTable {
   SimTime last_sweep_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+};
+
+// The α-shift controller exactly as it stood before the WeightController
+// interface extraction (PR 7): cooldown/shift bookkeeping inline instead of
+// inherited. The differential suite drives this and the refactored
+// AlphaShiftController with the same score streams and requires identical
+// decision sequences.
+class LegacyAlphaShiftController {
+ public:
+  explicit LegacyAlphaShiftController(AlphaShiftConfig config = {})
+      : config_{config}, baseline_best_{config.guard_tau} {
+    INBAND_ASSERT(config_.alpha > 0.0 && config_.alpha <= 1.0);
+    INBAND_ASSERT(config_.rel_threshold >= 1.0);
+    INBAND_ASSERT(config_.cooldown >= 0);
+  }
+
+  std::optional<ShiftDecision> evaluate(ServerLatencyTracker& tracker,
+                                        SimTime now) {
+    if (now < config_.warmup) return std::nullopt;
+    if (last_shift_ != kNoTime && now - last_shift_ < config_.cooldown) {
+      return std::nullopt;
+    }
+
+    tracker.scores_into(now, scores_scratch_);
+    const auto& all = scores_scratch_;
+    const BackendScore* worst = nullptr;
+    const BackendScore* best = nullptr;
+    std::size_t eligible = 0;
+    for (const auto& s : all) {
+      if (s.samples < config_.min_samples) continue;
+      if (now - s.last_sample > config_.staleness) continue;
+      ++eligible;
+      if (worst == nullptr || s.score_ns > worst->score_ns) worst = &s;
+      if (best == nullptr || s.score_ns < best->score_ns) best = &s;
+    }
+    if (eligible < 2 || worst == nullptr || best == nullptr ||
+        worst->backend == best->backend) {
+      return std::nullopt;
+    }
+
+    if (config_.global_guard > 0.0) {
+      const bool inflated =
+          baseline_best_.initialized() &&
+          best->score_ns > config_.global_guard * baseline_best_.value();
+      baseline_best_.record(now, best->score_ns);
+      if (inflated) {
+        ++guard_holds_;
+        pending_from_ = kNoBackend;
+        return std::nullopt;
+      }
+    }
+
+    const double gap = worst->score_ns - best->score_ns;
+    if (gap < static_cast<double>(config_.min_abs_gap) ||
+        worst->score_ns < config_.rel_threshold * best->score_ns) {
+      pending_from_ = kNoBackend;
+      return std::nullopt;
+    }
+
+    if (config_.confirm > 0) {
+      if (pending_from_ != worst->backend) {
+        pending_from_ = worst->backend;
+        pending_since_ = now;
+        return std::nullopt;
+      }
+      if (now - pending_since_ < config_.confirm) return std::nullopt;
+    }
+
+    pending_from_ = kNoBackend;
+    last_shift_ = now;
+    ++shifts_;
+    return ShiftDecision{worst->backend, config_.alpha, worst->score_ns,
+                         best->score_ns};
+  }
+
+  std::uint64_t shifts() const { return shifts_; }
+  std::uint64_t guard_holds() const { return guard_holds_; }
+  SimTime last_shift_time() const { return last_shift_; }
+
+ private:
+  AlphaShiftConfig config_;
+  DecayingEwma baseline_best_;
+  std::vector<BackendScore> scores_scratch_;
+  BackendId pending_from_ = kNoBackend;
+  SimTime pending_since_ = kNoTime;
+  SimTime last_shift_ = kNoTime;
+  std::uint64_t shifts_ = 0;
+  std::uint64_t guard_holds_ = 0;
 };
 
 }  // namespace inband

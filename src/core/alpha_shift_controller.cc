@@ -1,5 +1,6 @@
 #include "core/alpha_shift_controller.h"
 
+#include "check/state_digest.h"
 #include "util/assert.h"
 
 namespace inband {
@@ -16,7 +17,8 @@ AlphaShiftController::AlphaShiftController(AlphaShiftConfig config)
 std::optional<ShiftDecision> AlphaShiftController::evaluate(
     ServerLatencyTracker& tracker, SimTime now) {
   if (now < config_.warmup) return std::nullopt;
-  if (last_shift_ != kNoTime && now - last_shift_ < config_.cooldown) {
+  const SimTime last_shift = last_shift_time();
+  if (last_shift != kNoTime && now - last_shift < config_.cooldown) {
     return std::nullopt;
   }
 
@@ -73,10 +75,33 @@ std::optional<ShiftDecision> AlphaShiftController::evaluate(
   }
 
   pending_from_ = kNoBackend;
-  last_shift_ = now;
-  ++shifts_;
+  note_update(now);
   return ShiftDecision{worst->backend, config_.alpha, worst->score_ns,
                        best->score_ns};
+}
+
+std::optional<WeightDecision> AlphaShiftController::control_step(
+    ServerLatencyTracker& tracker, const std::vector<double>& weights,
+    SimTime now) {
+  (void)weights;
+  const auto decision = evaluate(tracker, now);
+  if (!decision.has_value()) return std::nullopt;
+  WeightDecision out;
+  out.from = decision->from;
+  out.fraction = decision->fraction;
+  out.worst_score_ns = decision->worst_score_ns;
+  out.best_score_ns = decision->best_score_ns;
+  return out;
+}
+
+void AlphaShiftController::digest_state(StateDigest& digest) const {
+  digest.mix(shifts());
+  digest.mix_i64(last_shift_time());
+  digest.mix(guard_holds_);
+  digest.mix_u32(pending_from_);
+  digest.mix_i64(pending_since_);
+  digest.mix_bool(baseline_best_.initialized());
+  digest.mix_double(baseline_best_.value());
 }
 
 }  // namespace inband

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/server_latency_tracker.h"
+#include "core/weight_controller.h"
 #include "telemetry/ewma.h"
 #include "util/time.h"
 
@@ -61,19 +62,29 @@ struct ShiftDecision {
   double best_score_ns = 0.0;
 };
 
-class AlphaShiftController {
+class AlphaShiftController final : public WeightController {
  public:
   explicit AlphaShiftController(AlphaShiftConfig config = {});
 
+  const char* name() const override { return "alpha-shift"; }
+
   // Evaluates the rule against the tracker's current scores. Returns the
   // shift to execute, or nullopt. Marks the cooldown when a shift fires.
+  // This is the law itself, kept callable directly (unit tests and the
+  // legacy-oracle differential suite drive it without the interface).
   std::optional<ShiftDecision> evaluate(ServerLatencyTracker& tracker,
                                         SimTime now);
 
-  std::uint64_t shifts() const { return shifts_; }
+  // WeightController entry point: evaluate() expressed as a shift decision.
+  // The current weight vector is ignored — the α rule only looks at scores.
+  INBAND_HOT std::optional<WeightDecision> control_step(
+      ServerLatencyTracker& tracker, const std::vector<double>& weights,
+      SimTime now) override;
+
   std::uint64_t guard_holds() const { return guard_holds_; }
-  SimTime last_shift_time() const { return last_shift_; }
   const AlphaShiftConfig& config() const { return config_; }
+
+  void digest_state(StateDigest& digest) const override;
 
  private:
   AlphaShiftConfig config_;
@@ -81,8 +92,6 @@ class AlphaShiftController {
   std::vector<BackendScore> scores_scratch_;  // reused across evaluate() calls
   BackendId pending_from_ = kNoBackend;
   SimTime pending_since_ = kNoTime;
-  SimTime last_shift_ = kNoTime;
-  std::uint64_t shifts_ = 0;
   std::uint64_t guard_holds_ = 0;
 };
 

@@ -1,0 +1,41 @@
+// Controller zoo: one factory for every registered WeightController.
+//
+// Kept separate from weight_controller.h (the interface) so concrete
+// controller headers can include the interface without a cycle. The zoo is
+// the single registration point: the conformance suite in
+// tests/test_controllers.cc iterates `controller_registry()`, so a controller
+// added here is automatically held to the shared laws (normalization,
+// determinism, no starvation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/alpha_shift_controller.h"
+#include "core/gradient_controller.h"
+#include "core/knapsack_controller.h"
+#include "core/shortest_queue_controller.h"
+#include "core/weight_controller.h"
+
+namespace inband {
+
+// Per-kind configs, carried together so rigs/benches/CLIs can plumb one
+// struct. Only the config matching `kind` is consulted by make_controller.
+struct ControllerZooConfig {
+  ControllerKind kind = ControllerKind::kAlphaShift;
+  AlphaShiftConfig alpha;
+  KnapsackLbConfig knapsack;
+  GradientDescentConfig gradient;
+  ShortestQueueConfig shortest_queue;
+};
+
+// Builds the controller selected by `config.kind`. The stale shortest-queue
+// kind reuses ShortestQueueConfig with view_refresh forced positive.
+std::unique_ptr<WeightController> make_controller(
+    const ControllerZooConfig& config);
+
+// Every kind the zoo can build, in stable declaration order. The conformance
+// suite treats this as the source of truth for "all registered controllers".
+const std::vector<ControllerKind>& controller_registry();
+
+}  // namespace inband

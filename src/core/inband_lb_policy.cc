@@ -18,9 +18,15 @@ InbandLbPolicy::InbandLbPolicy(const BackendPool& pool,
       estimator_{config_.ensemble},
       handshake_{config_.handshake},
       flows_{config_.flow_table},
-      tracker_{pool.size(), config_.tracker},
-      controller_{config_.controller} {
+      tracker_{pool.size(), config_.tracker} {
   INBAND_ASSERT(!pool_.empty());
+  ControllerZooConfig zoo;
+  zoo.kind = config_.controller_kind;
+  zoo.alpha = config_.controller;
+  zoo.knapsack = config_.knapsack;
+  zoo.gradient = config_.gradient;
+  zoo.shortest_queue = config_.shortest_queue;
+  controller_ = make_controller(zoo);
   table_.build(pool_);
   // Weight-fair target shares, for the optional restore drift.
   double total = 0.0;
@@ -30,9 +36,38 @@ InbandLbPolicy::InbandLbPolicy(const BackendPool& pool,
     fair_shares_[b.id] = b.healthy ? b.weight / total : 0.0;
   }
   target_shares_ = fair_shares_;
+  refresh_live_shares();
 }
 
-std::size_t InbandLbPolicy::apply_decision(const ShiftDecision& decision) {
+std::size_t InbandLbPolicy::rebuild_from_targets() {
+  // Rebuild with integer weights proportional to the live targets.
+  BackendPool weighted = pool_;
+  for (auto& b : weighted) {
+    b.weight = static_cast<std::uint32_t>(
+        target_shares_[b.id] * 10'000.0 + 0.5);
+  }
+  bool any = false;
+  for (const auto& b : weighted) any = any || (b.healthy && b.weight > 0);
+  if (!any) return 0;
+  MaglevTable rebuilt{table_.table_size(), config_.maglev_seed};
+  rebuilt.build(weighted);
+  const std::size_t changed = table_.diff(rebuilt);
+  table_ = rebuilt;
+  slots_disturbed_ += changed;
+  return changed;
+}
+
+std::size_t InbandLbPolicy::apply_decision(const WeightDecision& decision) {
+  if (decision.is_weight_vector()) {
+    // A full weight vector always applies via weighted rebuild; health masks
+    // the targets so a dead backend never wins slots back through a stale
+    // controller opinion.
+    INBAND_ASSERT(decision.weights->size() == pool_.size());
+    for (const auto& b : pool_) {
+      target_shares_[b.id] = b.healthy ? (*decision.weights)[b.id] : 0.0;
+    }
+    return rebuild_from_targets();
+  }
   switch (config_.table_update) {
     case TableUpdateMode::kShiftSlots: {
       const std::size_t moved =
@@ -55,21 +90,7 @@ std::size_t InbandLbPolicy::apply_decision(const ShiftDecision& decision) {
           target_shares_[b.id] += taken / static_cast<double>(receivers);
         }
       }
-      // Rebuild with integer weights proportional to the live targets.
-      BackendPool weighted = pool_;
-      for (auto& b : weighted) {
-        b.weight = static_cast<std::uint32_t>(
-            target_shares_[b.id] * 10'000.0 + 0.5);
-      }
-      bool any = false;
-      for (const auto& b : weighted) any = any || (b.healthy && b.weight > 0);
-      if (!any) return 0;
-      MaglevTable rebuilt{table_.table_size(), config_.maglev_seed};
-      rebuilt.build(weighted);
-      const std::size_t changed = table_.diff(rebuilt);
-      table_ = rebuilt;
-      slots_disturbed_ += changed;
-      return changed;
+      return rebuild_from_targets();
     }
   }
   return 0;
@@ -114,14 +135,15 @@ void InbandLbPolicy::on_packet(const Packet& pkt, BackendId backend,
   ++samples_total_;
   record_sample(pkt, backend, now, t_lb);
 
-  if (auto decision = controller_.evaluate(tracker_, now)) {
+  if (auto decision = controller_->control_step(tracker_, live_shares_, now)) {
     const std::size_t moved = apply_decision(*decision);
     if (moved > 0) {
-      // hotlint:allow(hot-growth): one record per alpha-shift, rate-limited
+      // hotlint:allow(hot-growth): one record per table update, rate-limited
       shifts_.push_back({now, decision->from, moved, decision->worst_score_ns,
                          decision->best_score_ns});
-      LOG_DEBUG() << "alpha-shift: moved " << moved << " slots off backend "
-                  << decision->from << " (worst "
+      refresh_live_shares();
+      LOG_DEBUG() << controller_->name() << ": moved " << moved
+                  << " slots off backend " << decision->from << " (worst "
                   << decision->worst_score_ns / 1e3 << "us vs best "
                   << decision->best_score_ns / 1e3 << "us)";
     }
@@ -140,6 +162,14 @@ void InbandLbPolicy::on_pool_change(const BackendPool& pool) {
   }
   target_shares_ = fair_shares_;
   table_.build(pool_);
+  refresh_live_shares();
+}
+
+void InbandLbPolicy::refresh_live_shares() {
+  INBAND_COLD_OK(
+      "runs once per table mutation (build, applied decision, restore drift), "
+      "never on the per-packet path");
+  live_shares_ = table_.shares();
 }
 
 void InbandLbPolicy::on_flow_closed(const FlowKey& flow, BackendId backend,
@@ -156,7 +186,7 @@ SimTime InbandLbPolicy::flow_delta(const FlowKey& flow, SimTime now) {
 void InbandLbPolicy::maybe_restore(SimTime now) {
   if (config_.restore_interval <= 0) return;
   if (now - last_restore_ < config_.restore_interval) return;
-  const SimTime last_shift = controller_.last_shift_time();
+  const SimTime last_shift = controller_->last_shift_time();
   if (last_shift != kNoTime &&
       now - last_shift < config_.restore_interval) {
     return;  // controller is active; do not fight it
@@ -187,7 +217,10 @@ void InbandLbPolicy::maybe_restore(SimTime now) {
   const double step = std::min(config_.restore_step, worst_deficit);
   const auto count = static_cast<std::size_t>(
       step * static_cast<double>(table_.table_size()));
-  if (count > 0) table_.move_slots(donor, needy, count);
+  if (count > 0) {
+    table_.move_slots(donor, needy, count);
+    refresh_live_shares();
+  }
 }
 
 void InbandLbPolicy::audit_invariants(AuditScope& scope) const {
@@ -197,8 +230,13 @@ void InbandLbPolicy::audit_invariants(AuditScope& scope) const {
   scope.check(tracker_.backend_count() == pool_.size(),
               "tracker-covers-pool");
   scope.check(fair_shares_.size() == pool_.size() &&
-                  target_shares_.size() == pool_.size(),
+                  target_shares_.size() == pool_.size() &&
+                  live_shares_.size() == pool_.size(),
               "share-bookkeeping-sized");
+  double live_total = 0.0;
+  for (const double s : live_shares_) live_total += s;
+  scope.check(live_total > 0.999 && live_total < 1.001,
+              "live-shares-normalized");
   const SimTime now = scope.now();
   SimTime prev = kNoTime;
   for (const auto& s : shifts_) {

@@ -8,10 +8,11 @@
 //                         ServerLatencyTracker (per-backend score)
 //                                     │
 //                                     ▼
-//                       AlphaShiftController (§3 α-shift rule)
-//                                     │ ShiftDecision
+//                  WeightController (pluggable; §3 α-shift by default,
+//                  see core/controller_zoo.h for the full zoo)
+//                                     │ WeightDecision
 //                                     ▼
-//                  MaglevTable::shift_slots (hash-table update)
+//         MaglevTable::shift_slots or weighted rebuild (hash-table update)
 //
 // New flows route through the (continuously adapted) Maglev table; existing
 // flows are pinned by the LB's conntrack, preserving per-connection
@@ -28,7 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/alpha_shift_controller.h"
+#include "core/controller_zoo.h"
 #include "core/ensemble_timeout.h"
 #include "core/handshake_rtt.h"
 #include "core/flow_state_table.h"
@@ -39,19 +40,29 @@
 
 namespace inband {
 
-// How a ShiftDecision is applied to the Maglev table.
+// How a shift-expression WeightDecision is applied to the Maglev table.
 //  * kShiftSlots  — the paper's mechanism: reassign α·M slots away from the
 //    victim in place. O(moved) work, minimal disruption.
 //  * kWeightRebuild — adjust per-backend target shares and rebuild the whole
 //    table with weighted Maglev. The "textbook" alternative; costs a full
 //    table build per update and moves unrelated slots. Benchmarked in
 //    bench/ablation_table_update.
+// Decisions that carry a full weight vector (knapsack, gradient, shortest
+// queue) always apply via the weighted-rebuild mechanism — a weight vector
+// has no single victim to shift away from.
 enum class TableUpdateMode { kShiftSlots, kWeightRebuild };
 
 struct InbandPolicyConfig {
   EnsembleConfig ensemble;
   LatencyTrackerConfig tracker;
+  // Which control law closes the loop, plus each law's config (only the one
+  // matching `controller_kind` is consulted). `controller` keeps its name
+  // from the alpha-only era so existing config sites read unchanged.
+  ControllerKind controller_kind = ControllerKind::kAlphaShift;
   AlphaShiftConfig controller;
+  KnapsackLbConfig knapsack;
+  GradientDescentConfig gradient;
+  ShortestQueueConfig shortest_queue;
   FlowStateTableConfig flow_table;
   std::uint64_t maglev_table_size = 65537;
   std::uint64_t maglev_seed = 0xab5e1ef7ULL;
@@ -113,7 +124,7 @@ class InbandLbPolicy final : public RoutingPolicy {
   const MaglevTable& table() const { return table_; }
   MaglevTable& table() { return table_; }
   ServerLatencyTracker& tracker() { return tracker_; }
-  const AlphaShiftController& controller() const { return controller_; }
+  const WeightController& controller() const { return *controller_; }
   const EnsembleTimeout& estimator() const { return estimator_; }
   const std::vector<ShiftEvent>& shift_history() const { return shifts_; }
   std::uint64_t samples_total() const { return samples_total_; }
@@ -130,19 +141,29 @@ class InbandLbPolicy final : public RoutingPolicy {
                      SimTime sample);
   // Applies the controller's decision via the configured mechanism; returns
   // the number of slots whose owner changed.
-  std::size_t apply_decision(const ShiftDecision& decision);
+  std::size_t apply_decision(const WeightDecision& decision);
+  // Rebuilds the Maglev table from target_shares_ and returns the number of
+  // slots whose owner changed (the kWeightRebuild / weight-vector mechanism).
+  std::size_t rebuild_from_targets();
+  // Recomputes live_shares_ from the table. Runs only after a (rate-limited)
+  // table mutation, never per packet.
+  void refresh_live_shares();
   void maybe_restore(SimTime now);
 
   InbandPolicyConfig config_;
   BackendPool pool_;
   MaglevTable table_;
   std::vector<double> fair_shares_;
-  std::vector<double> target_shares_;  // live targets (kWeightRebuild)
+  std::vector<double> target_shares_;  // live targets (weighted rebuilds)
+  // Current per-backend table shares, refreshed after each table mutation —
+  // the `weights` input every control_step sees. Kept analytically so the
+  // per-packet path never walks the table.
+  std::vector<double> live_shares_;
   EnsembleTimeout estimator_;
   HandshakeRttEstimator handshake_;
   FlowStateTable flows_;
   ServerLatencyTracker tracker_;
-  AlphaShiftController controller_;
+  std::unique_ptr<WeightController> controller_;
   std::vector<ShiftEvent> shifts_;
   // Per-client minimum T_LB (the §5(1) floor); only populated when
   // normalize_client_floor is enabled.

@@ -81,11 +81,6 @@ struct ClusterRigConfig {
   std::uint64_t seed = 2022;
 };
 
-struct ShareSnapshot {
-  SimTime t;
-  std::vector<double> shares;  // per backend id, LB 0's table
-};
-
 class ClusterRig {
  public:
   explicit ClusterRig(ClusterRigConfig config);

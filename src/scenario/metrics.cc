@@ -75,4 +75,37 @@ std::size_t fault_events_in_window(const std::vector<FaultEvent>& events,
   return n;
 }
 
+double weight_total_variation_per_epoch(
+    const std::vector<ShareSnapshot>& history, SimTime epoch, SimTime from,
+    SimTime to) {
+  INBAND_ASSERT(epoch > 0);
+  if (to <= from) return 0.0;
+  double tv = 0.0;
+  const ShareSnapshot* prev = nullptr;
+  for (const auto& snap : history) {
+    if (snap.t < from || snap.t >= to) continue;
+    if (prev != nullptr) {
+      const std::size_t n = std::min(prev->shares.size(), snap.shares.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        tv += std::abs(snap.shares[i] - prev->shares[i]);
+      }
+    }
+    prev = &snap;
+  }
+  const double epochs =
+      static_cast<double>(to - from) / static_cast<double>(epoch);
+  return epochs > 0.0 ? tv / epochs : 0.0;
+}
+
+SimTime share_drained_at(const std::vector<ShareSnapshot>& history,
+                         std::size_t backend, double threshold, SimTime from) {
+  for (const auto& snap : history) {
+    if (snap.t >= from && backend < snap.shares.size() &&
+        snap.shares[backend] < threshold) {
+      return snap.t;
+    }
+  }
+  return kNoTime;
+}
+
 }  // namespace inband

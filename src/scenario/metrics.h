@@ -15,6 +15,14 @@ struct Sample {
   SimTime value;
 };
 
+// A timestamped per-backend slot-share vector (one LB's Maglev table view).
+// Produced by ClusterRig's share sampler; consumed by the convergence and
+// oscillation metrics below.
+struct ShareSnapshot {
+  SimTime t;
+  std::vector<double> shares;  // per backend id, LB 0's table
+};
+
 // Relative error of each estimate against the ground truth prevailing at the
 // estimate's timestamp. Ground truth is interpreted as a right-continuous
 // step function through `truth` (sorted or not; sorted internally).
@@ -46,5 +54,21 @@ double percentile_in_window(const std::vector<Sample>& samples, SimTime from,
 std::size_t fault_events_in_window(const std::vector<FaultEvent>& events,
                                    FaultEvent::Kind kind, SimTime from,
                                    SimTime to);
+
+// Oscillation metric: total variation of the share vector — the summed L1
+// distance between consecutive snapshots in [from, to) — normalized to one
+// `epoch` of simulated time. A controller at rest scores ~0; one that keeps
+// sloshing weight back and forth scores high even if its time-average is
+// perfect (the herding signature of stale-view control).
+double weight_total_variation_per_epoch(
+    const std::vector<ShareSnapshot>& history, SimTime epoch, SimTime from,
+    SimTime to);
+
+// First time >= `from` at which shares[backend] drops below `threshold`;
+// kNoTime if it never does. The reaction/convergence probe: with `from` set
+// to the fault-injection time this is "when had the controller drained the
+// victim".
+SimTime share_drained_at(const std::vector<ShareSnapshot>& history,
+                         std::size_t backend, double threshold, SimTime from);
 
 }  // namespace inband

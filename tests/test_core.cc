@@ -18,6 +18,7 @@
 #include "core/flow_state_table.h"
 #include "core/inband_lb_policy.h"
 #include "core/server_latency_tracker.h"
+#include "scenario/cluster_rig.h"
 
 namespace inband {
 namespace {
@@ -1196,6 +1197,130 @@ TEST(DependencyInjector, SharedInstanceCouplesServers) {
   dep.inject(ms(1), ms(2));
   EXPECT_EQ(a.extra_service_time(ms(1), us(10), rng), ms(2));
   EXPECT_EQ(b.extra_service_time(ms(1), us(10), rng), ms(2));
+}
+
+// --- α-shift refactor differential suite (WeightController extraction) ---
+
+// Drives the refactored AlphaShiftController and the pre-refactor
+// LegacyAlphaShiftController (check/reference_models.h) with identical
+// synthetic score streams and demands the identical decision sequence —
+// presence, victim, fraction, and both scores, bit for bit.
+void drive_alpha_differential(const AlphaShiftConfig& cfg) {
+  AlphaShiftController fresh{cfg};
+  LegacyAlphaShiftController legacy{cfg};
+  ServerLatencyTracker tr_fresh{4};
+  ServerLatencyTracker tr_legacy{4};
+
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;  // xorshift64: deterministic
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+
+  SimTime now = 0;
+  std::size_t decisions = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now += static_cast<SimTime>(next() % us(200));
+    const auto backend = static_cast<BackendId>(next() % 4);
+    // Backend 3 runs slow in bursts; everyone else jitters around 100us.
+    // Occasionally *every* backend inflates (exercises the global guard).
+    const bool global_burst = (step / 500) % 4 == 3;
+    SimTime sample = us(80) + static_cast<SimTime>(next() % us(40));
+    if (backend == 3 && (step / 300) % 2 == 1) sample += ms(1);
+    if (global_burst) sample += ms(2);
+    tr_fresh.record(backend, now, sample);
+    tr_legacy.record(backend, now, sample);
+
+    const auto d_fresh = fresh.evaluate(tr_fresh, now);
+    const auto d_legacy = legacy.evaluate(tr_legacy, now);
+    ASSERT_EQ(d_fresh.has_value(), d_legacy.has_value()) << "step " << step;
+    if (d_fresh.has_value()) {
+      ++decisions;
+      EXPECT_EQ(d_fresh->from, d_legacy->from) << "step " << step;
+      EXPECT_EQ(d_fresh->fraction, d_legacy->fraction) << "step " << step;
+      EXPECT_EQ(d_fresh->worst_score_ns, d_legacy->worst_score_ns)
+          << "step " << step;
+      EXPECT_EQ(d_fresh->best_score_ns, d_legacy->best_score_ns)
+          << "step " << step;
+    }
+  }
+  EXPECT_GT(decisions, 0u);  // the stream must actually exercise the law
+  EXPECT_EQ(fresh.shifts(), legacy.shifts());
+  EXPECT_EQ(fresh.last_shift_time(), legacy.last_shift_time());
+  EXPECT_EQ(fresh.guard_holds(), legacy.guard_holds());
+}
+
+TEST(AlphaShiftDifferential, MatchesLegacyOnDefaultConfig) {
+  AlphaShiftConfig cfg;
+  cfg.min_samples = 2;
+  cfg.cooldown = us(300);
+  drive_alpha_differential(cfg);
+}
+
+TEST(AlphaShiftDifferential, MatchesLegacyWithGuardAndConfirm) {
+  AlphaShiftConfig cfg;
+  cfg.min_samples = 2;
+  cfg.cooldown = us(300);
+  cfg.global_guard = 1.5;
+  cfg.guard_tau = ms(5);
+  cfg.confirm = us(200);
+  drive_alpha_differential(cfg);
+}
+
+TEST(AlphaShiftDifferential, ControlStepMirrorsEvaluate) {
+  // The interface wrapper must be a pure re-expression of evaluate(): same
+  // trigger times, same victim/scores, shift expression (no weight vector).
+  AlphaShiftConfig cfg;
+  cfg.min_samples = 1;
+  cfg.cooldown = us(100);
+  AlphaShiftController via_evaluate{cfg};
+  AlphaShiftController via_interface{cfg};
+  ServerLatencyTracker tr_a{3};
+  ServerLatencyTracker tr_b{3};
+  const std::vector<double> shares{0.4, 0.3, 0.3};
+  for (int step = 0; step < 500; ++step) {
+    const SimTime now = us(50) * (step + 1);
+    const auto backend = static_cast<BackendId>(step % 3);
+    const SimTime sample = backend == 2 ? ms(1) : us(100);
+    tr_a.record(backend, now, sample);
+    tr_b.record(backend, now, sample);
+    const auto d_eval = via_evaluate.evaluate(tr_a, now);
+    const auto d_step = via_interface.control_step(tr_b, shares, now);
+    ASSERT_EQ(d_eval.has_value(), d_step.has_value()) << "step " << step;
+    if (d_step.has_value()) {
+      EXPECT_FALSE(d_step->is_weight_vector());
+      EXPECT_EQ(d_step->from, d_eval->from);
+      EXPECT_EQ(d_step->fraction, d_eval->fraction);
+      EXPECT_EQ(d_step->worst_score_ns, d_eval->worst_score_ns);
+      EXPECT_EQ(d_step->best_score_ns, d_eval->best_score_ns);
+    }
+  }
+  EXPECT_GT(via_interface.shifts(), 0u);
+  EXPECT_EQ(via_interface.shifts(), via_evaluate.shifts());
+}
+
+TEST(AlphaShiftDifferential, QuickRigDigestPinnedAcrossRefactor) {
+  // The perf_dataplane --quick rig (seed 2022, 400ms, 2 servers, 2 client
+  // hosts) produced this digest before the WeightController extraction; the
+  // refactored default α-shift path must reproduce it bit for bit. Keep in
+  // sync with .perf_baseline/dataplane_quick.json (rig_digest).
+  ClusterRigConfig cfg;
+  cfg.mode = LbMode::kInband;
+  cfg.num_servers = 2;
+  cfg.num_client_hosts = 2;
+  cfg.duration = ms(400);
+  cfg.inject_time = cfg.duration / 2;
+  cfg.seed = 2022;
+  cfg.client.connections = 4;
+  cfg.client.pipeline = 4;
+  cfg.server.workers = 8;
+  cfg.share_sample_interval = ms(10);
+  cfg.audit_interval = 0;
+  ClusterRig rig{cfg};
+  rig.run();
+  EXPECT_EQ(rig.state_digest(), 0x082ea340888d2502ULL);
 }
 
 }  // namespace
