@@ -19,6 +19,12 @@ KvServer::KvServer(TcpHost& host, KvServerConfig config)
 
 void KvServer::add_injector(std::unique_ptr<VariabilityInjector> injector) {
   INBAND_ASSERT(injector != nullptr);
+  // Each injector gets its own stream, keyed by the server seed and the
+  // attachment index. Injectors drawing from the server's stream would make
+  // one entity's draw history depend on another's call pattern — exactly the
+  // cross-entity coupling a per-shard digest cannot tolerate.
+  injector->seed_stream(
+      splitmix64(config_.seed ^ (0x16a3ec7ULL + injectors_.size())));
   injectors_.push_back(std::move(injector));
 }
 
@@ -75,7 +81,7 @@ SimTime KvServer::service_time(const KvMessage& request) {
   }
   const SimTime now = host_.sim().now();
   for (auto& inj : injectors_) {
-    svc += inj->extra_service_time(now, base + copy, rng_);
+    svc += inj->extra_service_time(now, base + copy);
   }
   return std::max<SimTime>(svc, 1);
 }

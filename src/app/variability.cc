@@ -13,10 +13,8 @@ StepDelayInjector::StepDelayInjector(SimTime start, SimTime extra, SimTime end)
   INBAND_ASSERT(end > start);
 }
 
-SimTime StepDelayInjector::extra_service_time(SimTime now, SimTime base,
-                                              Rng& rng) {
+SimTime StepDelayInjector::extra_service_time(SimTime now, SimTime base) {
   (void)base;
-  (void)rng;
   return (now >= start_ && now < end_) ? extra_ : 0;
 }
 
@@ -44,12 +42,11 @@ HeavyTailNoiseInjector::HeavyTailNoiseInjector(double probability,
   INBAND_ASSERT(alpha > 0.0);
 }
 
-SimTime HeavyTailNoiseInjector::extra_service_time(SimTime now, SimTime base,
-                                                   Rng& rng) {
+SimTime HeavyTailNoiseInjector::extra_service_time(SimTime now, SimTime base) {
   (void)now;
   (void)base;
-  if (!rng.bernoulli(probability_)) return 0;
-  const double d = rng.pareto(static_cast<double>(scale_), alpha_);
+  if (!rng_.bernoulli(probability_)) return 0;
+  const double d = rng_.pareto(static_cast<double>(scale_), alpha_);
   return std::min(static_cast<SimTime>(d), cap_);
 }
 
@@ -59,21 +56,24 @@ MarkovSlowdownInjector::MarkovSlowdownInjector(SimTime mean_normal,
                                                std::uint64_t seed)
     : mean_normal_{mean_normal},
       mean_slow_{mean_slow},
-      factor_{factor},
-      state_rng_{seed} {
+      factor_{factor} {
   INBAND_ASSERT(mean_normal > 0);
   INBAND_ASSERT(mean_slow > 0);
   INBAND_ASSERT(factor >= 1.0);
-  next_transition_ = static_cast<SimTime>(
-      state_rng_.exponential(static_cast<double>(mean_normal_)));
+  seed_stream(seed);
 }
 
 void MarkovSlowdownInjector::advance_to(SimTime now) {
+  if (!primed_) {
+    primed_ = true;
+    next_transition_ = static_cast<SimTime>(
+        rng_.exponential(static_cast<double>(mean_normal_)));
+  }
   while (next_transition_ <= now) {
     slow_ = !slow_;
     const SimTime mean = slow_ ? mean_slow_ : mean_normal_;
     next_transition_ += static_cast<SimTime>(
-        state_rng_.exponential(static_cast<double>(mean)));
+        rng_.exponential(static_cast<double>(mean)));
   }
 }
 
@@ -82,9 +82,7 @@ bool MarkovSlowdownInjector::slow_at(SimTime now) {
   return slow_;
 }
 
-SimTime MarkovSlowdownInjector::extra_service_time(SimTime now, SimTime base,
-                                                   Rng& rng) {
-  (void)rng;
+SimTime MarkovSlowdownInjector::extra_service_time(SimTime now, SimTime base) {
   advance_to(now);
   if (!slow_) return 0;
   return static_cast<SimTime>(static_cast<double>(base) * (factor_ - 1.0));

@@ -24,12 +24,16 @@ class VariabilityInjector {
  public:
   virtual ~VariabilityInjector() = default;
 
+  // Re-seeds this injector's private RNG stream. KvServer::add_injector
+  // calls it with a stream derived from the server seed and the attachment
+  // index; seed it manually when driving an injector outside a server.
+  void seed_stream(std::uint64_t seed) { rng_.reseed(seed); }
+
   // Additional service time for a request whose base cost is `base`,
   // starting at `now`.
-  virtual SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) {
+  virtual SimTime extra_service_time(SimTime now, SimTime base) {
     (void)now;
     (void)base;
-    (void)rng;
     return 0;
   }
 
@@ -38,6 +42,13 @@ class VariabilityInjector {
     (void)now;
     return 0;
   }
+
+ protected:
+  // Every injector draws from its own stream. Injectors that consumed their
+  // server's stream made one entity's draw history depend on another's call
+  // pattern — exactly the cross-entity coupling a per-shard digest cannot
+  // tolerate.
+  Rng rng_{0};
 };
 
 // Constant additive delay active during [start, end). The Fig. 3-style
@@ -47,7 +58,7 @@ class StepDelayInjector final : public VariabilityInjector {
   StepDelayInjector(SimTime start, SimTime extra,
                     SimTime end = sec(1'000'000));
 
-  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+  SimTime extra_service_time(SimTime now, SimTime base) override;
 
  private:
   SimTime start_;
@@ -76,7 +87,7 @@ class HeavyTailNoiseInjector final : public VariabilityInjector {
   HeavyTailNoiseInjector(double probability, SimTime scale, double alpha,
                          SimTime cap = ms(20));
 
-  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+  SimTime extra_service_time(SimTime now, SimTime base) override;
 
  private:
   double probability_;
@@ -119,9 +130,9 @@ class DependencyInjector final : public VariabilityInjector {
   DependencyInjector(const SharedDependency& dep, double call_fraction)
       : dep_{dep}, call_fraction_{call_fraction} {}
 
-  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override {
+  SimTime extra_service_time(SimTime now, SimTime base) override {
     (void)base;
-    if (!rng.bernoulli(call_fraction_)) return 0;
+    if (!rng_.bernoulli(call_fraction_)) return 0;
     return dep_.delay_at(now);
   }
 
@@ -138,7 +149,7 @@ class MarkovSlowdownInjector final : public VariabilityInjector {
   MarkovSlowdownInjector(SimTime mean_normal, SimTime mean_slow,
                          double factor, std::uint64_t seed);
 
-  SimTime extra_service_time(SimTime now, SimTime base, Rng& rng) override;
+  SimTime extra_service_time(SimTime now, SimTime base) override;
 
   bool slow_at(SimTime now);
 
@@ -148,7 +159,9 @@ class MarkovSlowdownInjector final : public VariabilityInjector {
   SimTime mean_normal_;
   SimTime mean_slow_;
   double factor_;
-  Rng state_rng_;
+  // The chain's first transition is drawn lazily so a seed_stream() call at
+  // attach time (which replaces the constructor seed) governs every draw.
+  bool primed_ = false;
   bool slow_ = false;
   SimTime next_transition_ = 0;
 };

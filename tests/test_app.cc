@@ -52,12 +52,11 @@ TEST(KvProtocol, ResponseEchoesRequestFields) {
 // --- variability injectors ---
 
 TEST(Variability, StepDelayActiveOnlyInWindow) {
-  Rng rng{1};
   StepDelayInjector inj{ms(10), us(500), ms(20)};
-  EXPECT_EQ(inj.extra_service_time(ms(5), us(10), rng), 0);
-  EXPECT_EQ(inj.extra_service_time(ms(10), us(10), rng), us(500));
-  EXPECT_EQ(inj.extra_service_time(ms(15), us(10), rng), us(500));
-  EXPECT_EQ(inj.extra_service_time(ms(20), us(10), rng), 0);
+  EXPECT_EQ(inj.extra_service_time(ms(5), us(10)), 0);
+  EXPECT_EQ(inj.extra_service_time(ms(10), us(10)), us(500));
+  EXPECT_EQ(inj.extra_service_time(ms(15), us(10)), us(500));
+  EXPECT_EQ(inj.extra_service_time(ms(20), us(10)), 0);
 }
 
 TEST(Variability, GcPauseFreezesPeriodically) {
@@ -76,12 +75,12 @@ TEST(Variability, GcPausePhaseShift) {
 }
 
 TEST(Variability, HeavyTailRespectsProbabilityAndCap) {
-  Rng rng{5};
   HeavyTailNoiseInjector inj{0.1, us(100), 1.5, ms(2)};
+  inj.seed_stream(5);
   int nonzero = 0;
   constexpr int kN = 20'000;
   for (int i = 0; i < kN; ++i) {
-    const SimTime d = inj.extra_service_time(0, us(10), rng);
+    const SimTime d = inj.extra_service_time(0, us(10));
     EXPECT_LE(d, ms(2));
     if (d > 0) {
       EXPECT_GE(d, us(100));
@@ -93,12 +92,11 @@ TEST(Variability, HeavyTailRespectsProbabilityAndCap) {
 
 TEST(Variability, MarkovSlowdownMultipliesBase) {
   MarkovSlowdownInjector inj{ms(1), ms(1), 3.0, 7};
-  Rng rng{1};
   // Find a time where the state is slow, verify the multiplier.
   bool saw_slow = false;
   bool saw_fast = false;
   for (SimTime t = 0; t < ms(50); t += us(100)) {
-    const SimTime extra = inj.extra_service_time(t, us(10), rng);
+    const SimTime extra = inj.extra_service_time(t, us(10));
     if (inj.slow_at(t)) {
       EXPECT_EQ(extra, us(20));  // base * (3-1)
       saw_slow = true;
