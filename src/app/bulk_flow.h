@@ -13,10 +13,12 @@
 #include <functional>
 
 #include "tcp/stack.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(shard)
 class BulkSender {
  public:
   using RttRecorder = std::function<void(SimTime now, SimTime rtt)>;
@@ -46,6 +48,7 @@ class BulkSender {
   std::uint64_t rtt_samples_ = 0;
 };
 
+INBAND_SHARD_LOCAL(shard)
 class BulkSink {
  public:
   BulkSink(TcpHost& host, std::uint16_t port);

@@ -22,6 +22,7 @@
 #include "tcp/stack.h"
 #include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shard.h"
 #include "util/shared_pool.h"
 
 namespace inband {
@@ -50,6 +51,7 @@ struct RequestRecord {
   FlowKey flow;       // the flow the request travelled on
 };
 
+INBAND_SHARD_LOCAL(shard)
 class KvClient {
  public:
   using Recorder = std::function<void(const RequestRecord&)>;

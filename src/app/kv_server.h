@@ -24,6 +24,7 @@
 #include "tcp/stack.h"
 #include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shard.h"
 #include "util/shared_pool.h"
 
 namespace inband {
@@ -38,6 +39,7 @@ struct KvServerConfig {
   std::uint64_t seed = 1;
 };
 
+INBAND_SHARD_LOCAL(shard)
 class KvServer {
  public:
   KvServer(TcpHost& host, KvServerConfig config);

@@ -16,10 +16,12 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class VariabilityInjector {
  public:
   virtual ~VariabilityInjector() = default;
@@ -53,6 +55,7 @@ class VariabilityInjector {
 
 // Constant additive delay active during [start, end). The Fig. 3-style
 // "server got slow at time t" switch.
+INBAND_SHARD_LOCAL(owner)
 class StepDelayInjector final : public VariabilityInjector {
  public:
   StepDelayInjector(SimTime start, SimTime extra,
@@ -68,6 +71,7 @@ class StepDelayInjector final : public VariabilityInjector {
 
 // Periodic full-process pauses: during [k*period, k*period + pause) no
 // request may start. Models GC / compaction stalls.
+INBAND_SHARD_LOCAL(owner)
 class GcPauseInjector final : public VariabilityInjector {
  public:
   GcPauseInjector(SimTime period, SimTime pause, SimTime phase = 0);
@@ -82,6 +86,7 @@ class GcPauseInjector final : public VariabilityInjector {
 
 // Heavy-tailed additive noise: with probability p, add a Pareto-distributed
 // delay (scale x_m, shape alpha). Models preemptions and interrupts.
+INBAND_SHARD_LOCAL(owner)
 class HeavyTailNoiseInjector final : public VariabilityInjector {
  public:
   HeavyTailNoiseInjector(double probability, SimTime scale, double alpha,
@@ -103,6 +108,7 @@ class HeavyTailNoiseInjector final : public VariabilityInjector {
 // currently injected into the dependency. Several servers holding injectors
 // onto the *same* SharedDependency slow down together — the signature that
 // distinguishes a dependency fault from a server fault.
+INBAND_SHARD_CHANNEL
 class SharedDependency {
  public:
   explicit SharedDependency(SimTime base_delay) : base_{base_delay} {}
@@ -125,6 +131,7 @@ class SharedDependency {
 
 // Attaches a server to a SharedDependency: a fraction of requests call it
 // and pay its current delay.
+INBAND_SHARD_LOCAL(owner)
 class DependencyInjector final : public VariabilityInjector {
  public:
   DependencyInjector(const SharedDependency& dep, double call_fraction)
@@ -144,6 +151,7 @@ class DependencyInjector final : public VariabilityInjector {
 // Two-state Markov slowdown: in the slow state, service time is multiplied
 // by `factor`. Dwell times are exponential with the given means; transitions
 // are evaluated lazily at request starts.
+INBAND_SHARD_LOCAL(owner)
 class MarkovSlowdownInjector final : public VariabilityInjector {
  public:
   MarkovSlowdownInjector(SimTime mean_normal, SimTime mean_slow,

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -39,6 +40,7 @@ class InvariantAuditor;
 
 // Handed to every hook invocation; carries the audit time and routes check
 // results back to the auditor under the hook's module name.
+INBAND_SHARD_LOCAL(owner)
 class AuditScope {
  public:
   SimTime now() const { return now_; }
@@ -57,6 +59,7 @@ class AuditScope {
   SimTime now_;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class InvariantAuditor {
  public:
   using Hook = std::function<void(AuditScope&)>;

@@ -31,10 +31,12 @@
 #include "sim/event_queue.h"  // EventId / kInvalidEventId
 #include "telemetry/ewma.h"
 #include "util/assert.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class LegacyEventQueue {
  public:
   EventId push(SimTime t, std::function<void()> fn) {
@@ -115,6 +117,7 @@ class LegacyEventQueue {
   SimTime last_popped_ = kNoTime;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class LegacyFlowStateTable {
  public:
   explicit LegacyFlowStateTable(FlowStateTableConfig config = {})
@@ -207,6 +210,7 @@ class LegacyFlowStateTable {
 // inherited. The differential suite drives this and the refactored
 // AlphaShiftController with the same score streams and requires identical
 // decision sequences.
+INBAND_SHARD_LOCAL(lb)
 class LegacyAlphaShiftController {
  public:
   explicit LegacyAlphaShiftController(AlphaShiftConfig config = {})

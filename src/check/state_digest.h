@@ -20,8 +20,11 @@
 #include <string>
 #include <string_view>
 
+#include "util/shard.h"
+
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class StateDigest {
  public:
   void mix(std::uint64_t v) {
@@ -54,6 +57,7 @@ class StateDigest {
 // Commutative combiner for unordered containers: digest each entry into its
 // own StateDigest, add the entry values here, then mix `combined()` (entry
 // count + sum) into the parent digest.
+INBAND_SHARD_LOCAL(owner)
 class UnorderedDigest {
  public:
   void add(std::uint64_t entry_digest) {

@@ -20,6 +20,7 @@
 #include "core/server_latency_tracker.h"
 #include "core/weight_controller.h"
 #include "telemetry/ewma.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -62,6 +63,7 @@ struct ShiftDecision {
   double best_score_ns = 0.0;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class AlphaShiftController final : public WeightController {
  public:
   explicit AlphaShiftController(AlphaShiftConfig config = {});

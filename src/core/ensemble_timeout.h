@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/fixed_timeout.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -61,6 +62,7 @@ struct EnsembleState {
   bool initialized = false;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class EnsembleTimeout {
  public:
   explicit EnsembleTimeout(EnsembleConfig config = {});

@@ -16,6 +16,7 @@
 // shareable.
 #pragma once
 
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -25,6 +26,7 @@ struct FixedTimeoutState {
   SimTime time_last_pkt = kNoTime;    // f.time_last_pkt
 };
 
+INBAND_SHARD_LOCAL(lb)
 class FixedTimeout {
  public:
   explicit FixedTimeout(SimTime delta);

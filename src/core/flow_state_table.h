@@ -13,6 +13,7 @@
 
 #include "core/ensemble_timeout.h"
 #include "net/flow.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -42,6 +43,7 @@ struct FlowState {
   }
 };
 
+INBAND_SHARD_LOCAL(lb)
 class FlowStateTable {
  public:
   explicit FlowStateTable(FlowStateTableConfig config = {});

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/weight_controller.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -45,6 +46,7 @@ struct GradientDescentConfig {
   std::uint64_t seed = 0x9d5c;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class GradientDescentController final : public WeightController {
  public:
   explicit GradientDescentController(GradientDescentConfig config = {});

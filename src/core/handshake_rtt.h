@@ -21,6 +21,7 @@
 
 #include "net/flow.h"
 #include "net/packet.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -32,6 +33,7 @@ struct HandshakeRttConfig {
   SimTime pending_timeout = sec(2);
 };
 
+INBAND_SHARD_LOCAL(lb)
 class HandshakeRttEstimator {
  public:
   explicit HandshakeRttEstimator(HandshakeRttConfig config = {});

@@ -37,6 +37,7 @@
 #include "lb/maglev.h"
 #include "lb/policy.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -104,6 +105,7 @@ struct ShiftEvent {
   double best_score_ns;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class InbandLbPolicy final : public RoutingPolicy {
  public:
   InbandLbPolicy(const BackendPool& pool, InbandPolicyConfig config = {});

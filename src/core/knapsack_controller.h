@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/weight_controller.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -50,6 +51,7 @@ struct KnapsackLbConfig {
   std::uint64_t seed = 0x6a6e;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class KnapsackLbController final : public WeightController {
  public:
   explicit KnapsackLbController(KnapsackLbConfig config = {});

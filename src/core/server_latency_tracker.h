@@ -15,6 +15,7 @@
 #include "lb/backend.h"
 #include "telemetry/ewma.h"
 #include "telemetry/sliding_window.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -38,6 +39,7 @@ struct BackendScore {
   std::uint64_t samples = 0;  // lifetime sample count
 };
 
+INBAND_SHARD_LOCAL(lb)
 class ServerLatencyTracker {
  public:
   ServerLatencyTracker(std::size_t backend_count,

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/weight_controller.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -39,6 +40,7 @@ struct ShortestQueueConfig {
   std::uint64_t seed = 0x50f7;
 };
 
+INBAND_SHARD_LOCAL(lb)
 class ShortestQueueController final : public WeightController {
  public:
   explicit ShortestQueueController(ShortestQueueConfig config = {});

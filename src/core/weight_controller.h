@@ -27,6 +27,7 @@
 
 #include "core/server_latency_tracker.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -61,6 +62,7 @@ struct WeightDecision {
   bool is_weight_vector() const { return weights != nullptr; }
 };
 
+INBAND_SHARD_LOCAL(lb)
 class WeightController {
  public:
   virtual ~WeightController() = default;

@@ -28,12 +28,14 @@
 #include "telemetry/counters.h"
 #include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shard.h"
 
 namespace inband {
 
 class AuditScope;
 class StateDigest;
 
+INBAND_SHARD_CHANNEL
 class FaultLayer final : public SendInterceptor {
  public:
   // One directed link of the owning rig's topology, tagged with the symbolic

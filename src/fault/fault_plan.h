@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/address.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -37,6 +38,7 @@ const char* link_scope_name(LinkScope scope);
 // Stochastic per-packet faults on every matching link, active during
 // [start, end). Evaluation order per packet: loss, then duplication, then
 // reordering, then jitter — a lost packet is never duplicated or held.
+INBAND_SHARD_SHARED_CONST
 struct LinkFaultSpec {
   LinkScope scope = LinkScope::kAll;
   // Restricts the spec to one endpoint index (the server index for
@@ -63,6 +65,7 @@ struct LinkFaultSpec {
 // Scheduled link outage: every packet sent on a matching link during
 // [down_at, up_at) is dropped. The flap state machine (kPending → kDown →
 // kRestored) is audited by the fault layer.
+INBAND_SHARD_SHARED_CONST
 struct LinkFlapSpec {
   LinkScope scope = LinkScope::kAll;
   int index = -1;
@@ -77,6 +80,7 @@ struct LinkFlapSpec {
 //    dropped (KvServer::abort_all_connections), then the process stays
 //    frozen until `until` (the supervisor restart window); the listener
 //    comes back with the restart.
+INBAND_SHARD_SHARED_CONST
 struct ServerFaultSpec {
   enum class Kind { kStall, kCrash };
   Kind kind = Kind::kStall;
@@ -85,6 +89,7 @@ struct ServerFaultSpec {
   SimTime until = 0;
 };
 
+INBAND_SHARD_SHARED_CONST
 struct FaultPlan {
   std::vector<LinkFaultSpec> links;
   std::vector<LinkFlapSpec> flaps;

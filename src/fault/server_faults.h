@@ -20,12 +20,14 @@
 #include "fault/fault_layer.h"
 #include "fault/fault_plan.h"
 #include "sim/simulator.h"
+#include "util/shard.h"
 
 namespace inband {
 
 // A process freeze on an explicit schedule: no request may start inside any
 // [start, end) window. Windows may overlap; frozen_until returns the end of
 // the latest window covering `now`.
+INBAND_SHARD_LOCAL(owner)
 class ScheduledFreezeInjector final : public VariabilityInjector {
  public:
   struct Window {

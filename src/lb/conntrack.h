@@ -13,6 +13,7 @@
 
 #include "lb/backend.h"
 #include "net/flow.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -28,6 +29,7 @@ struct ConntrackConfig {
   SimTime sweep_interval = sec(1);
 };
 
+INBAND_SHARD_LOCAL(lb)
 class ConnTracker {
  public:
   explicit ConnTracker(ConntrackConfig config = {});

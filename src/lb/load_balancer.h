@@ -19,9 +19,11 @@
 #include "net/network.h"
 #include "telemetry/counters.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(lb)
 class LoadBalancer : public Host {
  public:
   // Backend ids must equal their index in `pool` (asserted) so forwarding

@@ -20,12 +20,14 @@
 #include "lb/backend.h"
 #include "net/flow.h"
 #include "util/rng.h"
+#include "util/shard.h"
 
 namespace inband {
 
 class AuditScope;
 class StateDigest;
 
+INBAND_SHARD_LOCAL(lb)
 class MaglevTable {
  public:
   // table_size must be a prime (asserted); 65537 in the Maglev paper's small

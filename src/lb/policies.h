@@ -8,10 +8,12 @@
 #include "lb/maglev.h"
 #include "lb/policy.h"
 #include "util/rng.h"
+#include "util/shard.h"
 
 namespace inband {
 
 // The regular Maglev LB of Fig. 3: a hash table built once from the pool.
+INBAND_SHARD_LOCAL(lb)
 class StaticMaglevPolicy final : public RoutingPolicy {
  public:
   StaticMaglevPolicy(const BackendPool& pool, std::uint64_t table_size = 65537,
@@ -28,6 +30,7 @@ class StaticMaglevPolicy final : public RoutingPolicy {
 };
 
 // Cycles through healthy backends.
+INBAND_SHARD_LOCAL(lb)
 class RoundRobinPolicy final : public RoutingPolicy {
  public:
   explicit RoundRobinPolicy(const BackendPool& pool);
@@ -42,6 +45,7 @@ class RoundRobinPolicy final : public RoutingPolicy {
 };
 
 // Weight-proportional random choice.
+INBAND_SHARD_LOCAL(lb)
 class WeightedRandomPolicy final : public RoutingPolicy {
  public:
   WeightedRandomPolicy(const BackendPool& pool, std::uint64_t seed);
@@ -61,6 +65,7 @@ class WeightedRandomPolicy final : public RoutingPolicy {
 // silently are reaped against a generous idle assumption by periodically
 // reconciling with pick volume; for the simulated workloads, FIN/RST
 // coverage is complete.)
+INBAND_SHARD_LOCAL(lb)
 class LeastConnPolicy final : public RoutingPolicy {
  public:
   explicit LeastConnPolicy(const BackendPool& pool);

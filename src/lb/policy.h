@@ -10,6 +10,7 @@
 
 #include "lb/backend.h"
 #include "net/packet.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -17,6 +18,7 @@ namespace inband {
 class AuditScope;
 class StateDigest;
 
+INBAND_SHARD_LOCAL(lb)
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;

@@ -12,11 +12,13 @@
 
 #include "net/address.h"
 #include "util/rng.h"
+#include "util/shard.h"
 
 namespace inband {
 
 enum class IpProto : std::uint8_t { kTcp = 6, kUdp = 17 };
 
+INBAND_SHARD_LOCAL(owner)
 struct FlowKey {
   Endpoint src;
   Endpoint dst;

@@ -18,6 +18,7 @@
 #include "sim/simulator.h"
 #include "util/hotpath.h"
 #include "util/rng.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -43,6 +44,7 @@ struct LinkParams {
   std::uint64_t jitter_seed = 0x7177e6;
 };
 
+INBAND_SHARD_LOCAL(shard)
 class Link {
  public:
   Link(Simulator& sim, LinkParams params);

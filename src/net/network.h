@@ -21,6 +21,7 @@
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -48,6 +49,7 @@ class SendInterceptor {
   virtual SendVerdict on_send(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
 };
 
+INBAND_SHARD_CHANNEL
 class Network {
  public:
   explicit Network(Simulator& sim) : sim_{sim} {}
@@ -109,7 +111,10 @@ class Network {
 };
 
 // A node attached to the network. Subclasses implement handle_packet();
-// outbound traffic goes through send() / send_to().
+// outbound traffic goes through send() / send_to(). A mixin, not an entity:
+// a Host instance lives in whatever domain its derived class does (TcpHost
+// and KvServer in `shard`, LoadBalancer in `lb`), hence `owner`.
+INBAND_SHARD_LOCAL(owner)
 class Host : public PacketSink {
  public:
   Host(Simulator& sim, Network& net, Ipv4 addr, std::string name);

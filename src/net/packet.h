@@ -18,6 +18,7 @@
 
 #include "net/flow.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -41,6 +42,7 @@ struct MessageRef {
 // per-packet heap allocation in the fig-3 rig. Two refs live inline; longer
 // lists (deep retransmission ranges) spill to a heap array. Only `push_msg`
 // ever allocates, and only past the inline capacity.
+INBAND_SHARD_LOCAL(owner)
 class MsgList {
  public:
   static constexpr std::uint32_t kInline = 2;
@@ -147,6 +149,7 @@ inline constexpr std::uint8_t kRst = 1 << 3;
 inline constexpr std::uint8_t kPsh = 1 << 4;
 }  // namespace tcpflag
 
+INBAND_SHARD_LOCAL(owner)
 struct Packet {
   FlowKey flow;
   std::uint32_t seq = 0;        // sequence number of the first payload byte

@@ -13,6 +13,7 @@
 
 #include "net/network.h"
 #include "net/packet.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -27,6 +28,7 @@ struct TraceRow {
   std::uint32_t payload_len = 0;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class TraceRecorder {
  public:
   // Starts recording on `net`. Optionally filter to packets observed

@@ -24,6 +24,7 @@
 #include "net/network.h"
 #include "scenario/metrics.h"
 #include "sim/simulator.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -65,6 +66,7 @@ struct BackloggedRigConfig {
   FaultPlan fault;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class BackloggedRig {
  public:
   explicit BackloggedRig(BackloggedRigConfig config = {});
@@ -103,6 +105,7 @@ class BackloggedRig {
 
 // Decorates a policy with a per-packet observation callback; used by rigs to
 // tap the LB's vantage without changing routing.
+INBAND_SHARD_LOCAL(lb)
 class TapPolicy final : public RoutingPolicy {
  public:
   using Tap = std::function<void(const Packet&, BackendId, SimTime)>;

@@ -24,6 +24,7 @@
 #include "lb/load_balancer.h"
 #include "lb/policies.h"
 #include "scenario/metrics.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -81,6 +82,7 @@ struct ClusterRigConfig {
   std::uint64_t seed = 2022;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class ClusterRig {
  public:
   explicit ClusterRig(ClusterRigConfig config);

@@ -52,6 +52,7 @@
 
 #include "util/assert.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -68,6 +69,7 @@ inline constexpr EventId kInvalidEventId = 0;
 // sized for the queue's dominant payload (a link-delivery lambda carrying a
 // Packet by value). Unlike std::function it never allocates for captures up
 // to kInlineBytes and never copies the target.
+INBAND_SHARD_LOCAL(owner)
 class EventCallback {
  public:
   // Inline capture budget. Chosen so the largest hot-path lambda (Packet by
@@ -175,6 +177,7 @@ class EventCallback {
   const VTable* vtable_ = nullptr;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class EventQueue {
  public:
   EventQueue();

@@ -12,10 +12,12 @@
 #include "sim/event_queue.h"
 #include "util/assert.h"
 #include "util/hotpath.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class Simulator {
  public:
   Simulator() = default;
@@ -84,6 +86,7 @@ class Simulator {
 
 // Repeating task helper: reschedules itself every `period` until cancelled
 // or its owner is destroyed. The callback receives the firing time.
+INBAND_SHARD_LOCAL(owner)
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& sim, SimTime period,

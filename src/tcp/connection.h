@@ -25,6 +25,7 @@
 #include "util/hotpath.h"
 #include "tcp/recv_buffer.h"
 #include "tcp/send_buffer.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -47,6 +48,7 @@ enum class TcpState {
 
 const char* tcp_state_name(TcpState s);
 
+INBAND_SHARD_LOCAL(shard)
 class TcpConnection {
  public:
   // Application callbacks. Set before open()/first packet; any may be null.

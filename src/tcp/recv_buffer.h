@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "net/packet.h"  // MessageRef, MsgList
+#include "util/shard.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class RecvBuffer {
  public:
   // The first expected app byte is offset 1 (offset 0 was the SYN).

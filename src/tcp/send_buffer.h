@@ -12,9 +12,11 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "util/shard.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class SendBuffer {
  public:
   // First app byte sits at stream offset 1 (offset 0 is the SYN).

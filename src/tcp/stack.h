@@ -16,9 +16,11 @@
 #include "net/network.h"
 #include "tcp/connection.h"
 #include "util/rng.h"
+#include "util/shard.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(shard)
 class TcpStack {
  public:
   // Called when a SYN creates a new passive connection, before the SYN+ACK
@@ -84,6 +86,7 @@ class TcpStack {
 };
 
 // Convenience host owning a TCP stack.
+INBAND_SHARD_LOCAL(shard)
 class TcpHost : public Host {
  public:
   TcpHost(Simulator& sim, Network& net, Ipv4 addr, std::string name,

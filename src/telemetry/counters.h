@@ -11,8 +11,11 @@
 #include <string_view>
 #include <vector>
 
+#include "util/shard.h"
+
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class CounterSet {
  public:
   // Returns a stable reference; creating the same name twice returns the

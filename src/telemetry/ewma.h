@@ -11,10 +11,12 @@
 #include <cmath>
 
 #include "util/assert.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class Ewma {
  public:
   explicit Ewma(double gain = 0.125) : gain_{gain} {
@@ -44,6 +46,7 @@ class Ewma {
   bool initialized_ = false;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class DecayingEwma {
  public:
   // tau: time constant; a sample that arrives tau after the previous one

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class Histogram {
  public:
   static constexpr int kSubBucketBits = 6;

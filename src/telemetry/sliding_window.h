@@ -10,10 +10,12 @@
 #include <vector>
 
 #include "telemetry/histogram.h"
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class SlidingWindowHistogram {
  public:
   SlidingWindowHistogram(SimTime window, int slices = 8,

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/shard.h"
 #include "util/time.h"
 
 namespace inband {
@@ -29,6 +30,7 @@ struct BucketRow {
   std::uint64_t count;
 };
 
+INBAND_SHARD_LOCAL(owner)
 class TimeSeries {
  public:
   TimeSeries() = default;

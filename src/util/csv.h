@@ -12,9 +12,11 @@
 #include <type_traits>
 
 #include "util/assert.h"
+#include "util/shard.h"
 
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class CsvWriter {
  public:
   // Writes to an externally owned stream (e.g. std::cout).

@@ -11,8 +11,11 @@
 #include <variant>
 #include <vector>
 
+#include "util/shard.h"
+
 namespace inband {
 
+INBAND_SHARD_LOCAL(owner)
 class FlagSet {
  public:
   explicit FlagSet(std::string program_description = {})

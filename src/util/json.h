@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/shard.h"
+
 namespace inband {
 
 // --- Writer -----------------------------------------------------------------
@@ -22,6 +24,7 @@ namespace inband {
 // Streaming writer with explicit begin/end nesting. Keys and values are
 // emitted in call order; the writer inserts commas and indentation. Misuse
 // (value without a pending key inside an object, unbalanced end) asserts.
+INBAND_SHARD_LOCAL(owner)
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& os) : os_{os} {}
@@ -67,6 +70,7 @@ class JsonWriter {
 
 // Parsed JSON value. Object member order is not preserved (std::map), which
 // is fine for lookups and keeps iteration deterministic.
+INBAND_SHARD_LOCAL(owner)
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/assert.h"
+#include "util/shard.h"
 
 namespace inband {
 
@@ -25,6 +26,7 @@ constexpr std::uint64_t splitmix64(std::uint64_t x) {
 }
 
 // xoshiro256++ engine. Satisfies UniformRandomBitGenerator.
+INBAND_SHARD_LOCAL(owner)
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -102,6 +104,7 @@ class Rng {
 // Zipf-distributed integers over {1, ..., n} with exponent s >= 0, using
 // rejection-inversion sampling (Hörmann & Derflinger); O(1) per sample with
 // no table, so it supports very large n.
+INBAND_SHARD_LOCAL(owner)
 class ZipfDistribution {
  public:
   ZipfDistribution(std::uint64_t n, double s);

@@ -1,0 +1,36 @@
+// Shard-ownership annotations for the shardlint static analyzer
+// (tools/detlint). All three macros expand to nothing — they exist purely
+// as tokens for the analyzer, placed immediately before the class keyword:
+//
+//   INBAND_SHARD_LOCAL(shard) class KvServer { ... };
+//
+// The taxonomy (DESIGN.md §9.2) partitions mutable simulator state so the
+// planned parallel rig can replicate, share, or channel it:
+//
+// `INBAND_SHARD_LOCAL(domain)` — every instance's mutable state belongs to
+// exactly one ownership domain; the domain name ("shard", "lb", ...) groups
+// the classes that a single worker owns together. The special domain
+// `owner` marks instance-scoped value/engine types (Rng, EventQueue,
+// Simulator): each instance belongs to whatever object owns it, so the
+// class is transparent to cross-domain analysis — annotate with `owner`
+// only when a type holds no state of its own that outlives its owner.
+//
+// `INBAND_SHARD_SHARED_CONST` — immutable after construction; every domain
+// may read it concurrently. shardlint trusts the annotation and skips the
+// class; lying here (mutating after setup) is a determinism bug the lint
+// cannot see.
+//
+// `INBAND_SHARD_CHANNEL` — the only sanctioned cross-shard mutation path.
+// Channel state may be touched from any domain (that is its job), and
+// shardlint stops domain reachability at a channel boundary: whatever a
+// channel hands to the other side is the receiving domain's own state,
+// covered by that domain's own hot roots.
+//
+// Unannotated classes whose mutable state is reachable from two ownership
+// domains are `unannotated-shared` findings; see tools/detlint/README.md
+// for the full shardlint rule table and the comment-waiver form.
+#pragma once
+
+#define INBAND_SHARD_LOCAL(domain)
+#define INBAND_SHARD_SHARED_CONST
+#define INBAND_SHARD_CHANNEL

@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "util/hotpath.h"
+#include "util/shard.h"
 
 namespace inband {
 
 template <typename T>
+INBAND_SHARD_LOCAL(owner)
 class SharedPool {
  public:
   SharedPool() = default;

@@ -420,7 +420,7 @@ TEST(DetlintBinary, WholeCorpusSummary) {
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_EQ(JsonCount(r.out, "unwaived"), 24) << r.out;
   EXPECT_EQ(JsonCount(r.out, "waived"), 6) << r.out;
-  EXPECT_EQ(JsonCount(r.out, "files_scanned"), 21) << r.out;
+  EXPECT_EQ(JsonCount(r.out, "files_scanned"), 29) << r.out;
 }
 
 }  // namespace

@@ -116,6 +116,117 @@ struct Pipeline {
 }
 
 // ---------------------------------------------------------------------------
+// Engine: operator-overload and template call sites.
+// ---------------------------------------------------------------------------
+
+TEST(HotlintEngine, ExplicitMemberOperatorCallResolves) {
+  HotReport r = Analyze(R"(
+struct Vec {
+  Vec operator+(const Vec&) { auto* p = new int{1}; (void)p; return *this; }
+};
+INBAND_HOT void mix(Vec a, Vec b) { a.operator+(b); }
+)");
+  auto hits = FindingsFor(r, "hot-alloc");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  ASSERT_EQ(hits[0].chain.size(), 2u);
+  EXPECT_NE(hits[0].chain[1].find("operator+"), std::string::npos);
+}
+
+TEST(HotlintEngine, FreeOperatorCallResolves) {
+  HotReport r = Analyze(R"(
+struct Sink { long n_ = 0; };
+Sink& operator<<(Sink& s, long v) {
+  auto* p = new long{v};
+  s.n_ += *p;
+  delete p;
+  return s;
+}
+INBAND_HOT void log_raw(Sink& s, long v) { operator<<(s, v); }
+)");
+  EXPECT_EQ(FindingsFor(r, "hot-alloc").size(), 2u);
+}
+
+TEST(HotlintEngine, ExplicitCallOperatorResolves) {
+  HotReport r = Analyze(R"(
+struct Fn {
+  void operator()(int v) { auto* p = new int{v}; (void)p; }
+};
+INBAND_HOT void drive(Fn f) { f.operator()(3); }
+)");
+  ASSERT_EQ(FindingsFor(r, "hot-alloc").size(), 1u);
+  EXPECT_NE(FindingsFor(r, "hot-alloc")[0].chain[1].find("operator()"),
+            std::string::npos);
+}
+
+TEST(HotlintEngine, HotMarkOnCallOperatorRootsIt) {
+  HotReport r = Analyze(R"(
+struct Picker {
+  INBAND_HOT int operator()(int k) { return pick(k); }
+  int pick(int k) { auto* p = new int{k}; (void)p; return k; }
+};
+)");
+  EXPECT_EQ(r.roots, 1u);
+  ASSERT_EQ(FindingsFor(r, "hot-alloc").size(), 1u);
+  EXPECT_NE(FindingsFor(r, "hot-alloc")[0].chain[0].find("operator()"),
+            std::string::npos);
+}
+
+TEST(HotlintEngine, TemplateMemberAndQualifiedDispatchResolve) {
+  HotReport r = Analyze(R"(
+struct Table {
+  int lookup(int k) { auto* p = new int{k}; (void)p; return k; }
+  static int probe(int k) { auto* q = new int{k}; (void)q; return k; }
+};
+INBAND_HOT int seek(Table& t, int k) {
+  return t.lookup<4>(k) + Table::probe<int>(k);
+}
+)");
+  EXPECT_EQ(FindingsFor(r, "hot-alloc").size(), 2u);
+}
+
+TEST(HotlintEngine, BareTemplateCallIsDocumentedBlindSpot) {
+  // `f<int>(x)` is ambiguous with comparison chains at the token level, so
+  // the bare form deliberately contributes no edge (callgraph.h).
+  HotReport r = Analyze(R"(
+int stash(int k) { auto* p = new int{k}; (void)p; return k; }
+INBAND_HOT int no_edge(int k) { return stash<int>(k); }
+)");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(HotlintEngine, NestedColdRegionsInnermostWins) {
+  HotReport r = Analyze(R"(
+struct Cache {
+  int limit_ = 0;
+  INBAND_HOT int get(int k) {
+    if (k < limit_) return k;
+    INBAND_COLD_OK("outer: rebuild path");
+    {
+      INBAND_COLD_OK("inner: diagnostics only");
+      auto* snap = new int{k};
+      (void)snap;
+    }
+    auto* table = new int[8];
+    delete[] table;
+    return 0;
+  }
+};
+)");
+  EXPECT_EQ(r.unwaived(), 0u);
+  auto hits = FindingsFor(r, "hot-alloc");
+  ASSERT_EQ(hits.size(), 3u);
+  for (const Finding& f : hits) {
+    EXPECT_TRUE(f.waived);
+    if (f.line == 9) {
+      EXPECT_NE(f.waiver_reason.find("inner"), std::string::npos);
+    } else {
+      EXPECT_NE(f.waiver_reason.find("outer"), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Engine: individual hazard rules.
 // ---------------------------------------------------------------------------
 
@@ -386,6 +497,28 @@ TEST(HotlintBinary, WaivedFixtureExitsZeroWithCounts) {
   EXPECT_EQ(r.exit_code, 0);
   EXPECT_EQ(JsonCount(r.out, "unwaived"), 0) << r.out;
   EXPECT_EQ(JsonCount(r.out, "waived"), 2) << r.out;
+}
+
+TEST(HotlintBinary, OperatorDispatchFixtureIsCaught) {
+  // Every hazard sits behind an operator or template-member call form; the
+  // hot root is itself an operator().
+  RunResult r = RunHotlint("--json " + Fixture("operator_dispatch.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(JsonCount(r.out, "unwaived"), 6) << r.out;
+  EXPECT_NE(r.out.find("Picker::operator()"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Accum::operator+"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("Table::lookup"), std::string::npos) << r.out;
+}
+
+TEST(HotlintBinary, NestedColdFixtureWaivesWithInnermostReason) {
+  RunResult r = RunHotlint("--json " + Fixture("nested_cold.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(JsonCount(r.out, "unwaived"), 0) << r.out;
+  EXPECT_EQ(JsonCount(r.out, "waived"), 4) << r.out;
+  EXPECT_NE(r.out.find("diagnostics snapshot"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("rebuild is off the per-packet path"),
+            std::string::npos)
+      << r.out;
 }
 
 TEST(HotlintBinary, WaiverHygieneFires) {

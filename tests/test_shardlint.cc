@@ -1,0 +1,550 @@
+// Tests for shardlint, the whole-program shard-ownership analyzer
+// (tools/detlint).
+//
+// Two layers, mirroring test_detlint.cc / test_hotlint.cc:
+//  - engine tests call analyze_shard() directly and pin the domain-walk
+//    semantics (channel cut, owner transparency, member-edge cut at declared
+//    domain boundaries), each ownership rule down to the finding line, the
+//    waiver mechanics, and the partition-map schema;
+//  - binary tests shell the built `shardlint` executable over the fixture
+//    corpus (tools/detlint/fixtures/shardlint) and assert the end-to-end
+//    contract: escape/rng/seq fixtures are flagged, channel-clean and
+//    fully-annotated fixtures exit 0, waiver hygiene fires, and the
+//    --partition / --check-partition round trip holds.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shardlint.h"
+
+namespace {
+
+using detlint::Finding;
+using detlint::ShardReport;
+using detlint::SourceInput;
+using detlint::analyze_shard;
+
+std::vector<Finding> FindingsFor(const ShardReport& report,
+                                 const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+ShardReport Analyze(const char* src) {
+  return analyze_shard({SourceInput{"x.cc", src}});
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shard-rng.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, RngReachableFromTwoDomainsFlagged) {
+  ShardReport r = Analyze(R"(
+struct SharedNoise {
+  Rng rng_;
+  double draw() { return rng_.uniform(); }
+};
+INBAND_SHARD_LOCAL(lb) struct Balancer {
+  SharedNoise* noise_ = nullptr;
+  INBAND_HOT int pick() { return noise_->draw() > 0.5 ? 1 : 0; }
+};
+INBAND_SHARD_LOCAL(shard) struct Server {
+  SharedNoise* noise_ = nullptr;
+  INBAND_HOT void serve() { noise_->draw(); }
+};
+)");
+  auto hits = FindingsFor(r, "shard-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("lb, shard"), std::string::npos);
+  // The chain walks root -> method of the shared class.
+  ASSERT_GE(hits[0].chain.size(), 2u);
+  EXPECT_NE(hits[0].chain.back().find("draw"), std::string::npos);
+}
+
+TEST(ShardlintEngine, RngPassedIntoAnotherObjectFlagged) {
+  // The pre-refactor injector bug: the owner's stream handed across an
+  // object boundary as an argument. Path-independent — one domain suffices.
+  ShardReport r = Analyze(R"(
+struct Injector {
+  long extra_time(long base, Rng& rng) { return base + rng.next_u64() % 8; }
+};
+INBAND_SHARD_LOCAL(shard) struct Worker {
+  Rng rng_;
+  Injector inj_;
+  INBAND_HOT long handle(long base) {
+    return base + inj_.extra_time(base, rng_);
+  }
+};
+)");
+  auto hits = FindingsFor(r, "shard-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 9);
+  EXPECT_NE(hits[0].message.find("passed into"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("inj_.extra_time"), std::string::npos);
+}
+
+TEST(ShardlintEngine, DrawingFromOwnMemberRngIsClean) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(shard) struct Server {
+  Rng rng_;
+  INBAND_HOT long serve() { return rng_.next_u64() % 128; }
+};
+)");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shard-seq and unannotated-shared.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, SharedSeqCounterFlaggedAndSuppressesUnannotated) {
+  ShardReport r = Analyze(R"(
+struct IdAllocator {
+  long next_flow_id_ = 0;
+  long alloc() { return next_flow_id_++; }
+};
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  IdAllocator* ids_ = nullptr;
+  INBAND_HOT void admit() { ids_->alloc(); }
+};
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  IdAllocator* ids_ = nullptr;
+  INBAND_HOT void open() { ids_->alloc(); }
+};
+)");
+  auto hits = FindingsFor(r, "shard-seq");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  // The member finding carries the class diagnosis; no duplicate
+  // class-level unannotated-shared nag on top of it.
+  EXPECT_TRUE(FindingsFor(r, "unannotated-shared").empty());
+}
+
+TEST(ShardlintEngine, UnannotatedMutableStateSharedAcrossDomainsFlagged) {
+  ShardReport r = Analyze(R"(
+struct Scratch {
+  long v_ = 0;
+  void set(long x) { v_ = x; }
+};
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  Scratch* pad_ = nullptr;
+  INBAND_HOT void admit() { pad_->set(1); }
+};
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  Scratch* pad_ = nullptr;
+  INBAND_HOT void open() { pad_->set(2); }
+};
+)");
+  auto hits = FindingsFor(r, "unannotated-shared");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);  // anchored at the class
+  EXPECT_NE(hits[0].message.find("Scratch"), std::string::npos);
+}
+
+TEST(ShardlintEngine, MutableStaticMemberFlaggedFromOneDomain) {
+  // Process-wide state: flagged as soon as the class is on any hot path,
+  // multi-domain reach not required.
+  ShardReport r = Analyze(R"(
+struct Registry {
+  static long live_count_;
+  void note() { ++live_count_; }
+};
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  Registry reg_;
+  INBAND_HOT void admit() { reg_.note(); }
+};
+)");
+  auto hits = FindingsFor(r, "unannotated-shared");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("live_count_"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: shard-escape.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, RawPointerAliasAcrossDomainsFlaggedUniquePtrExempt) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(shard) struct ServerState {
+  long inflight_ = 0;
+};
+INBAND_SHARD_LOCAL(lb) struct Director {
+  ServerState* shortcut_ = nullptr;
+  std::unique_ptr<ServerState> owned_;
+  INBAND_HOT void route() {}
+};
+)");
+  auto hits = FindingsFor(r, "shard-escape");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 6);  // shortcut_, not owned_
+  EXPECT_NE(hits[0].message.find("shortcut_"), std::string::npos);
+}
+
+TEST(ShardlintEngine, QualifiedCallAcrossDomainsIsReachEscape) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(shard) struct ServerState {
+  long inflight_ = 0;
+  void account(long d) { inflight_ += d; }
+};
+INBAND_SHARD_LOCAL(lb) struct Director {
+  INBAND_HOT void route(ServerState& s) { s.ServerState::account(1); }
+};
+)");
+  auto hits = FindingsFor(r, "shard-escape");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("reached from domain 'lb'"),
+            std::string::npos);
+}
+
+TEST(ShardlintEngine, MemberCallCutAtDeclaredForeignDomainBoundary) {
+  // Name-matched member dispatch over-approximates; a declared foreign
+  // domain is trusted over the lexical match, so no reach-form escape.
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(shard) struct ServerState {
+  long inflight_ = 0;
+  void account(long d) { inflight_ += d; }
+};
+INBAND_SHARD_LOCAL(lb) struct Director {
+  INBAND_HOT void route(ServerState& s) { s.account(1); }
+};
+)");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine: domain-walk semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, ChannelStateExemptAndWalkCutAtChannel) {
+  ShardReport r = Analyze(R"(
+struct Hidden {
+  long order_ = 0;
+  void bump() { ++order_; }
+};
+INBAND_SHARD_CHANNEL struct Mailbox {
+  long pending_ = 0;
+  Hidden h_;
+  void post(long m) { pending_ += m; h_.bump(); }
+};
+INBAND_SHARD_LOCAL(lb) struct Router {
+  Mailbox* box_ = nullptr;
+  INBAND_HOT void forward() { box_->post(1); }
+};
+INBAND_SHARD_LOCAL(shard) struct Server {
+  Mailbox* box_ = nullptr;
+  INBAND_HOT void drain() { box_->post(0); }
+};
+)");
+  // Mailbox's own mutable state is the sanctioned crossing, and the walk
+  // does not continue out of it into Hidden.
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(ShardlintEngine, OwnerClassesAreDomainTransparent) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(owner) struct Counter {
+  long n_ = 0;
+  void bump() { ++n_; }
+};
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  Counter stats_;
+  INBAND_HOT void admit() { stats_.bump(); }
+};
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  Counter stats_;
+  INBAND_HOT void open() { stats_.bump(); }
+};
+)");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(ShardlintEngine, SharedConstClassesAreTrusted) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_SHARED_CONST struct Plan {
+  long hits_ = 0;
+  long rate() { return ++hits_; }
+};
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  Plan* plan_ = nullptr;
+  INBAND_HOT long admit() { return plan_->rate(); }
+};
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  Plan* plan_ = nullptr;
+  INBAND_HOT long open() { return plan_->rate(); }
+};
+)");
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(ShardlintEngine, RegistryAndCallGraphSpanFiles) {
+  ShardReport r = analyze_shard({
+      SourceInput{"state.h", R"(
+struct SharedNoise {
+  Rng rng_;
+  double draw() { return rng_.uniform(); }
+};
+)"},
+      SourceInput{"a.cc", R"(
+#include "state.h"
+INBAND_SHARD_LOCAL(lb) struct Balancer {
+  SharedNoise* noise_ = nullptr;
+  INBAND_HOT int pick() { return noise_->draw() > 0.5 ? 1 : 0; }
+};
+)"},
+      SourceInput{"b.cc", R"(
+#include "state.h"
+INBAND_SHARD_LOCAL(shard) struct Server {
+  SharedNoise* noise_ = nullptr;
+  INBAND_HOT void serve() { noise_->draw(); }
+};
+)"},
+  });
+  auto hits = FindingsFor(r, "shard-rng");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "state.h");
+  EXPECT_EQ(r.domains, 2u);
+  EXPECT_EQ(r.roots, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: waivers.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, JustifiedWaiverWaives) {
+  ShardReport r = Analyze(R"(
+struct EpochCounter {
+  // shardlint:allow(shard-seq): epoch counter is reconciled at the barrier
+  long next_epoch_seq_ = 0;
+  long alloc() { return next_epoch_seq_++; }
+};
+INBAND_SHARD_LOCAL(lb) struct A {
+  EpochCounter* e_ = nullptr;
+  INBAND_HOT void f() { e_->alloc(); }
+};
+INBAND_SHARD_LOCAL(shard) struct B {
+  EpochCounter* e_ = nullptr;
+  INBAND_HOT void g() { e_->alloc(); }
+};
+)");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_TRUE(r.findings[0].waived);
+  EXPECT_EQ(r.unwaived(), 0u);
+  EXPECT_EQ(r.waived(), 1u);
+  EXPECT_TRUE(r.unused_waivers.empty());
+}
+
+TEST(ShardlintEngine, UnknownRuleAndMissingReasonAreBadWaivers) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(lb) struct A {
+  // shardlint:allow(shard-warp): no such rule
+  long v_ = 0;
+  // shardlint:allow(shard-rng)
+  INBAND_HOT void f() { ++v_; }
+};
+)");
+  EXPECT_EQ(FindingsFor(r, "bad-waiver").size(), 2u);
+}
+
+TEST(ShardlintEngine, WaiverMatchingNothingIsReportedUnused) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(lb) struct A {
+  // shardlint:allow(shard-escape): nothing here escapes anywhere
+  INBAND_HOT void f() {}
+};
+)");
+  EXPECT_TRUE(r.findings.empty());
+  ASSERT_EQ(r.unused_waivers.size(), 1u);
+  EXPECT_EQ(r.unused_waivers[0].line, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Engine: partition map and statistics.
+// ---------------------------------------------------------------------------
+
+TEST(ShardlintEngine, PartitionMapListsEveryBucketAndReach) {
+  ShardReport r = Analyze(R"(
+INBAND_SHARD_LOCAL(owner) struct Counter { long n_ = 0; };
+INBAND_SHARD_SHARED_CONST struct Plan { long rate_ = 3; };
+INBAND_SHARD_CHANNEL struct Mailbox { long pending_ = 0; };
+struct Scratch { long v_ = 0; };
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  INBAND_HOT void admit() {}
+};
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  INBAND_HOT void open() {}
+};
+)");
+  const std::string& p = r.partition_json;
+  EXPECT_NE(p.find("\"version\": 1"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"lb\": [\"Lb\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"shard\": [\"Srv\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"owner\": [\"Counter\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"channels\": [\"Mailbox\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"shared_const\": [\"Plan\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"unannotated\": [\"Scratch\"]"), std::string::npos) << p;
+  // Each domain's walk touches its own root class.
+  EXPECT_NE(p.find("\"Lb\": [\"lb\"]"), std::string::npos) << p;
+  EXPECT_NE(p.find("\"Srv\": [\"shard\"]"), std::string::npos) << p;
+  EXPECT_EQ(r.classes, 6u);
+  EXPECT_EQ(r.annotated, 5u);
+  EXPECT_EQ(r.roots, 2u);
+  EXPECT_EQ(r.domains, 2u);
+}
+
+TEST(ShardlintEngine, PartitionMapIsDeterministicAcrossInputOrder) {
+  const char* a = R"(
+INBAND_SHARD_LOCAL(lb) struct Lb { INBAND_HOT void admit() {} };
+)";
+  const char* b = R"(
+INBAND_SHARD_LOCAL(shard) struct Srv { INBAND_HOT void open() {} };
+)";
+  ShardReport fwd = analyze_shard({SourceInput{"a.cc", a}, {"b.cc", b}});
+  ShardReport rev = analyze_shard({SourceInput{"b.cc", b}, {"a.cc", a}});
+  EXPECT_EQ(fwd.partition_json, rev.partition_json);
+}
+
+// ---------------------------------------------------------------------------
+// Binary: shell `shardlint` over the fixture corpus.
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+RunResult RunShardlint(const std::string& args) {
+  const std::string cmd = std::string(SHARDLINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) r.out.append(buf, n);
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string Fixture(const std::string& rel) {
+  return std::string(SHARDLINT_FIXTURES) + "/" + rel;
+}
+
+// Extracts the N from `"<key>": N` in the JSON counts object.
+int JsonCount(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.rfind(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoi(json.c_str() + pos + needle.size());
+}
+
+TEST(ShardlintBinary, EscapeFixtureCaughtBothForms) {
+  RunResult r = RunShardlint("--json " + Fixture("escape.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("\"rule\": \"shard-escape\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("aliases"), std::string::npos);
+  EXPECT_NE(r.out.find("reached from domain"), std::string::npos);
+  EXPECT_EQ(JsonCount(r.out, "unwaived"), 2) << r.out;
+}
+
+TEST(ShardlintBinary, SharedRngFixtureCaughtBothForms) {
+  RunResult r = RunShardlint("--json " + Fixture("shared_rng.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("\"rule\": \"shard-rng\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("reachable from domains"), std::string::npos);
+  EXPECT_NE(r.out.find("passed into"), std::string::npos);
+  EXPECT_EQ(JsonCount(r.out, "unwaived"), 2) << r.out;
+}
+
+TEST(ShardlintBinary, SeqSharedFixtureCaught) {
+  RunResult r = RunShardlint("--json " + Fixture("seq_shared.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("\"rule\": \"shard-seq\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"rule\": \"unannotated-shared\""), std::string::npos);
+  EXPECT_NE(r.out.find("live_count_"), std::string::npos);
+  EXPECT_EQ(JsonCount(r.out, "unwaived"), 3) << r.out;
+}
+
+TEST(ShardlintBinary, ChannelCleanAndCleanFixturesExitZero) {
+  EXPECT_EQ(RunShardlint(Fixture("channel_clean.cc")).exit_code, 0);
+  RunResult clean = RunShardlint("--json " + Fixture("clean.cc"));
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_EQ(JsonCount(clean.out, "unwaived"), 0) << clean.out;
+  EXPECT_EQ(JsonCount(clean.out, "waived"), 0) << clean.out;
+}
+
+TEST(ShardlintBinary, WaiverHygieneFires) {
+  RunResult r = RunShardlint(Fixture("waiver_hygiene.cc"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("bad-waiver"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("unused waiver"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("waived [shard-seq]"), std::string::npos) << r.out;
+}
+
+TEST(ShardlintBinary, JsonReportCarriesOwnershipStats) {
+  RunResult r = RunShardlint("--json " + Fixture("clean.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"ownership\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"domains\": 2"), std::string::npos) << r.out;
+}
+
+TEST(ShardlintBinary, PartitionFlagEmitsMap) {
+  RunResult r = RunShardlint("--partition=json " + Fixture("clean.cc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("\"version\": 1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"domains\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"Server\""), std::string::npos) << r.out;
+}
+
+TEST(ShardlintBinary, CheckPartitionRoundTripAndStaleDetection) {
+  const std::string map = testing::TempDir() + "shardlint_partition.json";
+  RunResult gen =
+      RunShardlint("--partition=json " + Fixture("clean.cc"));
+  ASSERT_EQ(gen.exit_code, 0);
+  {
+    std::ofstream out(map, std::ios::binary);
+    out << gen.out;
+  }
+  EXPECT_EQ(
+      RunShardlint("--check-partition=" + map + " " + Fixture("clean.cc"))
+          .exit_code,
+      0);
+  {
+    std::ofstream out(map, std::ios::binary | std::ios::app);
+    out << "stale\n";
+  }
+  RunResult stale =
+      RunShardlint("--check-partition=" + map + " " + Fixture("clean.cc"));
+  EXPECT_EQ(stale.exit_code, 1);
+  EXPECT_NE(stale.out.find("stale"), std::string::npos) << stale.out;
+  std::remove(map.c_str());
+}
+
+TEST(ShardlintBinary, ListRulesNamesEveryRule) {
+  RunResult r = RunShardlint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const std::string& rule : detlint::shard_rule_names()) {
+    EXPECT_NE(r.out.find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(ShardlintBinary, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunShardlint("--frobnicate x.cc").exit_code, 2);
+  EXPECT_EQ(RunShardlint("--check-partition= x.cc").exit_code, 2);
+  EXPECT_EQ(RunShardlint("").exit_code, 2);
+}
+
+}  // namespace

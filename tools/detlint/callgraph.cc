@@ -390,12 +390,35 @@ class StructureScanner {
     for (std::size_t i = 0; i < toks_.size(); ++i) {
       if (!is_ident(toks_[i], "INBAND_HOT")) continue;
       // The annotated function: first `name(` after the marker, before the
-      // declaration ends.
+      // declaration ends. `operator<op>` names are composed across the
+      // operator tokens so an INBAND_HOT call operator roots as
+      // "operator()" (the definition's name), not as "operator".
       for (std::size_t j = i + 1;
            j < toks_.size() && j < i + 64 && !is_punct(toks_[j], ";"); ++j) {
-        if (toks_[j].kind == TokenKind::kIdent &&
-            kNotFunctionNames.count(toks_[j].text) == 0 &&
-            j + 1 < toks_.size() && is_punct(toks_[j + 1], "(")) {
+        if (toks_[j].kind != TokenKind::kIdent ||
+            kNotFunctionNames.count(toks_[j].text) > 0) {
+          continue;
+        }
+        if (toks_[j].text == "operator") {
+          std::string op;
+          std::size_t k = j + 1;
+          while (k < toks_.size() && !is_punct(toks_[k], "(") &&
+                 !is_punct(toks_[k], ";") && !is_punct(toks_[k], "{")) {
+            op += toks_[k].text;
+            ++k;
+          }
+          if (k < toks_.size() && is_punct(toks_[k], "(") && op.empty() &&
+              k + 2 < toks_.size() && is_punct(toks_[k + 1], ")") &&
+              is_punct(toks_[k + 2], "(")) {
+            op = "()";
+          }
+          if (k < toks_.size() && is_punct(toks_[k], "(") && !op.empty()) {
+            out_.hot_names.push_back("operator" + op);
+            break;
+          }
+          continue;
+        }
+        if (j + 1 < toks_.size() && is_punct(toks_[j + 1], "(")) {
           out_.hot_names.push_back(toks_[j].text);
           break;
         }
@@ -484,21 +507,59 @@ std::vector<CallSite> find_calls(const LexResult& lexed,
   for (std::size_t i = def.body_begin;
        i < def.body_end && i + 1 < toks.size(); ++i) {
     const Token& t = toks[i];
-    if (t.kind != TokenKind::kIdent || !is_punct(toks[i + 1], "(") ||
-        kNotFunctionNames.count(t.text) > 0) {
+    if (t.kind != TokenKind::kIdent || kNotFunctionNames.count(t.text) > 0) {
+      continue;
+    }
+    const bool member =
+        i >= 1 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    std::string qualifier;
+    if (!member && i >= 2 && is_punct(toks[i - 1], "::") &&
+        toks[i - 2].kind == TokenKind::kIdent) {
+      qualifier = toks[i - 2].text;
+    }
+    std::string callee = t.text;
+    if (t.text == "operator") {
+      // Explicit operator calls — `x.operator+(y)`, `operator<<(os, v)`,
+      // `f.operator()(a)` — compose the callee across the operator tokens
+      // the same way the definition scan does, so they resolve to the
+      // matching operator definitions.
+      std::string op;
+      std::size_t j = i + 1;
+      while (j < toks.size() && !is_punct(toks[j], "(") &&
+             !is_punct(toks[j], ";") && !is_punct(toks[j], "{") &&
+             !is_punct(toks[j], "}")) {
+        op += toks[j].text;
+        ++j;
+      }
+      if (j >= toks.size() || !is_punct(toks[j], "(")) continue;
+      if (op.empty()) {
+        if (j + 2 < toks.size() && is_punct(toks[j + 1], ")") &&
+            is_punct(toks[j + 2], "(")) {
+          op = "()";  // x.operator()(args)
+        } else {
+          continue;  // an operator() definition's own signature, not a call
+        }
+      }
+      callee = "operator" + op;
+    } else if (is_punct(toks[i + 1], "<") && (member || !qualifier.empty())) {
+      // Template member/qualified dispatch: `x.f<T>(...)`, `Cls::f<T>(...)`.
+      // Only the member/qualified forms are accepted — a bare `a < b`
+      // comparison would otherwise masquerade as a template call.
+      const std::size_t past = skip_template_args(toks, i + 1);
+      if (!(past > i + 2 && past < toks.size() && is_punct(toks[past], "(") &&
+            (is_punct(toks[past - 1], ">") ||
+             is_punct(toks[past - 1], ">>")))) {
+        continue;
+      }
+    } else if (!is_punct(toks[i + 1], "(")) {
       continue;
     }
     CallSite cs;
-    cs.callee = t.text;
+    cs.callee = std::move(callee);
     cs.line = t.line;
     cs.token = i;
-    if (i >= 1 &&
-        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"))) {
-      cs.member_call = true;
-    } else if (i >= 2 && is_punct(toks[i - 1], "::") &&
-               toks[i - 2].kind == TokenKind::kIdent) {
-      cs.qualifier = toks[i - 2].text;
-    }
+    cs.member_call = member;
+    if (!member) cs.qualifier = std::move(qualifier);
     out.push_back(std::move(cs));
   }
   return out;

@@ -9,11 +9,18 @@
 // which doubles as the virtual-dispatch approximation — a call through an
 // interface fans out to each implementation of that method name.
 //
+// Explicit operator calls (`x.operator+(y)`, `operator<<(os, v)`,
+// `f.operator()(a)`) compose the callee name across the operator tokens,
+// and template member/qualified dispatch (`x.f<T>(...)`, `Cls::f<T>(...)`)
+// skips the argument list to find the call paren.
+//
 // Known blind spots (documented in DESIGN.md §9): calls through
 // std::function or other type-erased callables (the *construction* is
-// flagged by hotlint's hot-stdfunc rule instead), destructor edges, calls
-// with explicit template arguments (`f<int>(...)`), and operator-overload
-// call sites. Preprocessor conditionals that unbalance braces degrade the
+// flagged by hotlint's hot-stdfunc rule instead), destructor edges, bare
+// free calls with explicit template arguments (`f<int>(...)` — the
+// member/qualified forms resolve, the bare form would be ambiguous with
+// comparisons), and implicit operator invocations (`a + b`, `f(x)` through
+// a functor object). Preprocessor conditionals that unbalance braces degrade the
 // scan for that file only.
 #pragma once
 

@@ -1,0 +1,19 @@
+// Nested INBAND_COLD_OK regions: the innermost covering region must supply
+// the waiver reason for each hazard (and both markers count as used). The
+// outer region covers the rebuild allocation; the inner block narrows the
+// justification for the diagnostics-only allocation. Exit 0, two waived.
+struct Cache {
+  int limit_ = 0;
+  INBAND_HOT int get(int k) {
+    if (k < limit_) return k;
+    INBAND_COLD_OK("miss path: rebuild is off the per-packet path");
+    {
+      INBAND_COLD_OK("diagnostics snapshot, miss path only");
+      auto* snap = new int{k};
+      delete snap;
+    }
+    auto* table = new int[8];
+    delete[] table;
+    return 0;
+  }
+};

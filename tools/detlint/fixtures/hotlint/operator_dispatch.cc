@@ -1,0 +1,47 @@
+// Operator-overload and template-member dispatch: the hot root is itself an
+// operator() (a Maglev-style functor), and every hazard below is reached
+// only through call forms that need name composition or template-argument
+// skipping to resolve — x.operator+(y), operator<<(s, v), f.operator()(k),
+// x.f<T>(...). A scanner that stops at plain `name(` sees none of them.
+struct Accum {
+  long total_ = 0;
+  Accum operator+(const Accum& o) {
+    auto* scratch = new long{total_ + o.total_};
+    total_ = *scratch;
+    delete scratch;
+    return *this;
+  }
+};
+
+struct Sink {
+  long n_ = 0;
+};
+
+Sink& operator<<(Sink& s, long v) {
+  auto* slot = new long{v};
+  s.n_ += *slot;
+  delete slot;
+  return s;
+}
+
+struct Table {
+  template <typename K>
+  long lookup(K k) {
+    auto* probe = new long{static_cast<long>(k)};
+    long out = *probe;
+    delete probe;
+    return out;
+  }
+};
+
+struct Picker {
+  Accum acc_;
+  Table table_;
+  INBAND_HOT long operator()(long k) {
+    Accum one;
+    acc_.operator+(one);
+    Sink s;
+    operator<<(s, k);
+    return table_.lookup<long>(k);
+  }
+};

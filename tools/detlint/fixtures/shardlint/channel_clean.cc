@@ -1,0 +1,24 @@
+// Clean cross-domain communication: Mailbox is the sanctioned
+// INBAND_SHARD_CHANNEL crossing, so both domains may call into it — its own
+// state is the handoff buffer, and the walk is cut at the boundary rather
+// than merging the two domains. Exit 0, zero findings.
+INBAND_SHARD_CHANNEL struct Mailbox {
+  long pending_ = 0;
+  void post(long m) { pending_ += m; }
+  long take() {
+    long m = pending_;
+    pending_ = 0;
+    return m;
+  }
+};
+
+INBAND_SHARD_LOCAL(lb) struct Router {
+  Mailbox* box_ = nullptr;
+  INBAND_HOT void forward() { box_->post(1); }
+};
+
+INBAND_SHARD_LOCAL(shard) struct Server {
+  Mailbox* box_ = nullptr;
+  long handled_ = 0;
+  INBAND_HOT void drain() { handled_ += box_->take(); }
+};

@@ -1,0 +1,33 @@
+// Fully annotated, single-domain-per-state program: RNG streams, sequence
+// counters and mutable members are fine as long as exactly one domain
+// reaches them; owner classes are domain-transparent instance state and
+// shared-const plans are trusted read-only. Exit 0, zero findings.
+INBAND_SHARD_LOCAL(owner) struct Counter {
+  long n_ = 0;
+  void bump() { ++n_; }
+};
+
+INBAND_SHARD_SHARED_CONST struct Plan {
+  long rate_ = 3;
+};
+
+INBAND_SHARD_LOCAL(shard) struct Server {
+  Counter stats_;
+  Rng rng_;
+  long next_req_seq_ = 0;
+  const Plan* plan_ = nullptr;
+  INBAND_HOT long serve() {
+    stats_.bump();
+    ++next_req_seq_;
+    return static_cast<long>(rng_.next_u64() % 128);
+  }
+};
+
+INBAND_SHARD_LOCAL(lb) struct Balancer {
+  Counter stats_;
+  long next_pick_seq_ = 0;
+  INBAND_HOT int pick() {
+    stats_.bump();
+    return static_cast<int>(++next_pick_seq_ % 4);
+  }
+};

@@ -1,0 +1,14 @@
+// Shard-escape, both forms. Decl-form: Director (domain lb) holds a raw
+// pointer to ServerState (domain shard) — an alias that lets lb-side code
+// mutate shard-owned state without going through a channel. Reach-form: the
+// explicitly qualified ServerState::account(...) call drags the lb walk into
+// shard-owned methods.
+INBAND_SHARD_LOCAL(shard) struct ServerState {
+  long inflight_ = 0;
+  void account(long delta) { inflight_ += delta; }
+};
+
+INBAND_SHARD_LOCAL(lb) struct Director {
+  ServerState* shortcut_ = nullptr;
+  INBAND_HOT void route() { shortcut_->ServerState::account(1); }
+};

@@ -1,0 +1,40 @@
+// Shard-seq and unannotated-shared. IdAllocator's next_flow_id_ is a
+// monotonic counter reached from two domains — under parallel execution the
+// ids handed out would depend on cross-shard interleaving. Scratch is plain
+// mutable state shared without any INBAND_SHARD_* annotation. Registry's
+// mutable static member is process-wide state no matter what the class
+// itself is annotated.
+struct IdAllocator {
+  long next_flow_id_ = 0;
+  long alloc() { return next_flow_id_++; }
+};
+
+struct Scratch {
+  long v_ = 0;
+  void set(long x) { v_ = x; }
+};
+
+struct Registry {
+  static long live_count_;
+  void note() { ++live_count_; }
+};
+
+INBAND_SHARD_LOCAL(lb) struct Lb {
+  IdAllocator* ids_ = nullptr;
+  Scratch* pad_ = nullptr;
+  Registry reg_;
+  INBAND_HOT void admit() {
+    ids_->alloc();
+    pad_->set(1);
+    reg_.note();
+  }
+};
+
+INBAND_SHARD_LOCAL(shard) struct Srv {
+  IdAllocator* ids_ = nullptr;
+  Scratch* pad_ = nullptr;
+  INBAND_HOT void open() {
+    ids_->alloc();
+    pad_->set(2);
+  }
+};

@@ -1,0 +1,29 @@
+// Shard-rng, both forms. SharedNoise is one RNG stream drawn from by both
+// the lb and shard walks: the interleaving of draws — and with it every
+// digest — would depend on cross-shard timing. Worker::handle additionally
+// replays the pre-refactor injector bug: it passes its own rng_ member into
+// another object's method, handing the stream across an object boundary
+// (the callee should be seeded its own stream instead).
+struct SharedNoise {
+  Rng rng_;
+  double draw() { return rng_.uniform(); }
+};
+
+INBAND_SHARD_LOCAL(lb) struct Balancer {
+  SharedNoise* noise_ = nullptr;
+  INBAND_HOT int pick() { return noise_->draw() > 0.5 ? 1 : 0; }
+};
+
+struct Injector {
+  long extra_time(long base, Rng& rng) { return base + rng.next_u64() % 8; }
+};
+
+INBAND_SHARD_LOCAL(shard) struct Worker {
+  SharedNoise* noise_ = nullptr;
+  Rng rng_;
+  Injector inj_;
+  INBAND_HOT long handle(long base) {
+    double jitter = noise_->draw();
+    return base + inj_.extra_time(base, rng_) + static_cast<long>(jitter);
+  }
+};

@@ -1,0 +1,35 @@
+// Waiver mechanics: one justified waiver on a real shard-seq finding
+// (accepted), one waiver naming a rule that does not exist, one missing its
+// justification, and one valid waiver matching nothing (reported unused).
+// The two malformed waivers are unwaivable bad-waiver findings: exit 1.
+struct EpochCounter {
+  // shardlint:allow(shard-seq): epoch counter is reconciled at the barrier
+  long next_epoch_seq_ = 0;
+  long alloc() { return next_epoch_seq_++; }
+};
+
+struct Shared {
+  // shardlint:allow(shard-warp): no such rule
+  long v_ = 0;
+  // shardlint:allow(shard-rng)
+  void set(long x) { v_ = x; }
+};
+
+INBAND_SHARD_LOCAL(lb) struct A {
+  EpochCounter* epochs_ = nullptr;
+  Shared* s_ = nullptr;
+  // shardlint:allow(shard-escape): nothing on this line escapes anywhere
+  INBAND_HOT void f() {
+    epochs_->alloc();
+    s_->set(1);
+  }
+};
+
+INBAND_SHARD_LOCAL(shard) struct B {
+  EpochCounter* epochs_ = nullptr;
+  Shared* s_ = nullptr;
+  INBAND_HOT void g() {
+    epochs_->alloc();
+    s_->set(2);
+  }
+};

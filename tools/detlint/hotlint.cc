@@ -1,24 +1,19 @@
 #include "hotlint.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <deque>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
-#include <sstream>
 #include <tuple>
 #include <utility>
 
 #include "callgraph.h"
+#include "lint_io.h"
+#include "program_graph.h"
 #include "waivers.h"
 
 namespace detlint {
 namespace {
-
-namespace fs = std::filesystem;
 
 bool is_punct(const Token& t, std::string_view p) {
   return t.kind == TokenKind::kPunct && t.text == p;
@@ -76,252 +71,37 @@ const std::set<std::string>& block_members() {
   return s;
 }
 
-// An identifier spelled LOG_<UPPER> marks a level-guarded logging macro;
-// hot-* findings and call edges on its line are suppressed (the macro
-// compiles the expression out below the active level).
-bool is_log_macro(const std::string& name) {
-  if (name.size() < 5 || name.compare(0, 4, "LOG_") != 0) return false;
-  for (std::size_t i = 4; i < name.size(); ++i) {
-    const char c = name[i];
-    if (!(c >= 'A' && c <= 'Z') && !(c >= '0' && c <= '9') && c != '_') {
-      return false;
-    }
-  }
-  return true;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-struct FileData {
-  std::string path;
-  LexResult lexed;
-  FileStructure structure;
+// Per-file analyzer state layered over the shared graph: hotlint's waivers
+// and accumulated findings, parallel to g.files.
+struct HotFileState {
   std::vector<Waiver> waivers;
-  std::vector<Finding> findings;  // this file's findings, pre-sort
-  std::set<int> log_lines;        // lines carrying a LOG_* macro
-  std::set<std::string> globals;  // effective: own + included files'
-  std::set<std::string> maps;
+  std::vector<Finding> findings;
 };
-
-struct Node {
-  FunctionDef def;
-  std::vector<CallSite> calls;
-  std::vector<std::pair<int, int>> edges;  // (target node, call line)
-  bool hot = false;
-  bool reachable = false;
-  int parent = -1;  // BFS tree edge, for root->hazard chains
-};
-
-struct Graph {
-  std::vector<FileData> files;
-  std::vector<Node> nodes;
-  std::size_t edge_count = 0;
-};
-
-// True when a cold region covers the token, excluding the marker's own
-// INBAND_COLD_OK("...") tokens so a region does not justify itself.
-bool region_covers(const ColdRegion& r, std::size_t token) {
-  return token > r.begin + 3 && token <= r.end;
-}
-
-Graph build_graph(std::vector<HotInput>&& inputs) {
-  Graph g;
-  std::sort(inputs.begin(), inputs.end(),
-            [](const HotInput& a, const HotInput& b) { return a.path < b.path; });
-  inputs.erase(std::unique(inputs.begin(), inputs.end(),
-                           [](const HotInput& a, const HotInput& b) {
-                             return a.path == b.path;
-                           }),
-               inputs.end());
-
-  for (const HotInput& in : inputs) {
-    FileData fd;
-    fd.path = in.path;
-    fd.lexed = lex(in.source);
-    fd.structure = analyze_structure(fd.lexed, static_cast<int>(g.files.size()));
-    fd.waivers = collect_comment_waivers(fd.lexed.comments, "hotlint:allow",
-                                         fd.path, hot_rule_names(),
-                                         fd.findings);
-    for (const int line : fd.structure.bad_cold_lines) {
-      fd.findings.push_back({"bad-waiver", fd.path, line,
-                             "INBAND_COLD_OK is missing a justification",
-                             false, {}, {}});
-    }
-    for (const Token& t : fd.lexed.tokens) {
-      if (t.kind == TokenKind::kIdent && is_log_macro(t.text)) {
-        fd.log_lines.insert(t.line);
-      }
-    }
-    fd.globals.insert(fd.structure.decls.mutable_globals.begin(),
-                      fd.structure.decls.mutable_globals.end());
-    fd.maps.insert(fd.structure.decls.map_names.begin(),
-                   fd.structure.decls.map_names.end());
-    g.files.push_back(std::move(fd));
-  }
-
-  // Resolve quoted includes against the scanned set by path suffix, and
-  // union the included files' shard-relevant declarations: a .cc touching a
-  // global or a map declared in its header must still be caught.
-  for (FileData& fd : g.files) {
-    for (const std::string& inc : fd.lexed.includes) {
-      const std::string suffix = "/" + inc;
-      for (const FileData& other : g.files) {
-        if (other.path != inc &&
-            (other.path.size() <= suffix.size() ||
-             other.path.compare(other.path.size() - suffix.size(),
-                                suffix.size(), suffix) != 0)) {
-          continue;
-        }
-        fd.globals.insert(other.structure.decls.mutable_globals.begin(),
-                          other.structure.decls.mutable_globals.end());
-        fd.maps.insert(other.structure.decls.map_names.begin(),
-                       other.structure.decls.map_names.end());
-        break;
-      }
-    }
-  }
-
-  // Global node list + name indices.
-  std::map<std::string, std::vector<int>> by_name;
-  std::map<std::string, std::vector<int>> by_qualified;
-  std::set<std::string> hot_names;
-  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
-    FileData& fd = g.files[fi];
-    for (FunctionDef& def : fd.structure.functions) {
-      Node n;
-      n.def = def;
-      n.calls = find_calls(fd.lexed, n.def);
-      const int id = static_cast<int>(g.nodes.size());
-      by_name[n.def.name].push_back(id);
-      if (!n.def.qualifier.empty()) {
-        by_qualified[n.def.qualifier + "::" + n.def.name].push_back(id);
-      }
-      g.nodes.push_back(std::move(n));
-    }
-    hot_names.insert(fd.structure.hot_names.begin(),
-                     fd.structure.hot_names.end());
-  }
-
-  // Edges. A cold region cuts outgoing edges (the slow path it justifies
-  // may call whatever it likes); LOG_* lines are exempt wholesale.
-  for (Node& n : g.nodes) {
-    FileData& fd = g.files[static_cast<std::size_t>(n.def.file)];
-    for (const CallSite& cs : n.calls) {
-      if (cs.callee == "INBAND_COLD_OK" || cs.callee == "INBAND_HOT") continue;
-      bool cold = false;
-      for (ColdRegion& r : fd.structure.cold_regions) {
-        if (region_covers(r, cs.token)) {
-          r.used = true;
-          cold = true;
-        }
-      }
-      if (cold) continue;
-      if (fd.log_lines.count(cs.line) > 0) continue;
-      if (cs.qualifier == "std") continue;
-      const std::vector<int>* targets = nullptr;
-      if (!cs.qualifier.empty()) {
-        const auto it = by_qualified.find(cs.qualifier + "::" + cs.callee);
-        if (it != by_qualified.end()) targets = &it->second;
-      }
-      if (targets == nullptr) {
-        const auto it = by_name.find(cs.callee);
-        if (it != by_name.end()) targets = &it->second;
-      }
-      if (targets == nullptr) continue;
-      for (const int t : *targets) {
-        n.edges.emplace_back(t, cs.line);
-        ++g.edge_count;
-      }
-    }
-    if (hot_names.count(n.def.name) > 0) n.hot = true;
-  }
-
-  // BFS from the hot roots, recording the tree parent for chains. Node ids
-  // are already in sorted (file, token) order, so iteration is
-  // deterministic.
-  std::deque<int> queue;
-  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
-    if (g.nodes[i].hot && !g.nodes[i].reachable) {
-      g.nodes[i].reachable = true;
-      queue.push_back(static_cast<int>(i));
-    }
-  }
-  while (!queue.empty()) {
-    const std::size_t id = static_cast<std::size_t>(queue.front());
-    queue.pop_front();
-    for (const auto& [target, line] : g.nodes[id].edges) {
-      if (g.nodes[static_cast<std::size_t>(target)].reachable) continue;
-      g.nodes[static_cast<std::size_t>(target)].reachable = true;
-      g.nodes[static_cast<std::size_t>(target)].parent = static_cast<int>(id);
-      queue.push_back(target);
-    }
-  }
-  return g;
-}
-
-std::string chain_entry(const Graph& g, const Node& n) {
-  return display_name(n.def) + " (" + g.files[static_cast<std::size_t>(n.def.file)].path + ":" +
-         std::to_string(n.def.line) + ")";
-}
-
-std::vector<std::string> build_chain(const Graph& g, int id) {
-  std::vector<std::string> chain;
-  for (int cur = id; cur != -1; cur = g.nodes[static_cast<std::size_t>(cur)].parent) {
-    chain.push_back(chain_entry(g, g.nodes[static_cast<std::size_t>(cur)]));
-  }
-  std::reverse(chain.begin(), chain.end());
-  return chain;
-}
 
 // Runs the hazard rules over one function body. Emitted findings carry no
-// chain (the caller attaches it). `probe` mode is used for unreachable
-// functions: hazards are matched only so the waivers that would cover them
-// register as used, and the findings are then discarded.
-void scan_body(FileData& fd, const Node& n, std::vector<Finding>& out) {
+// chain (the caller attaches it). Unreachable functions are probed with the
+// same routine so the waivers covering their hazards register as used.
+void scan_body(GraphFile& fd, const GraphNode& n, std::vector<Finding>& out) {
   const std::vector<Token>& toks = fd.lexed.tokens;
   const auto add = [&](std::size_t tok, const std::string& rule,
                        std::string message) {
     Finding f{rule, fd.path, toks[tok].line, std::move(message), false, {}, {}};
     if (rule.compare(0, 4, "hot-") == 0) {
       if (fd.log_lines.count(f.line) > 0) return;  // guarded-log exemption
+      // Of the regions covering the hazard, the innermost (latest-starting)
+      // one supplies the justification: a nested INBAND_COLD_OK refines its
+      // enclosing region's reason rather than being shadowed by it.
+      ColdRegion* innermost = nullptr;
       for (ColdRegion& r : fd.structure.cold_regions) {
-        if (region_covers(r, tok)) {
-          f.waived = true;
-          f.waiver_reason = r.reason;
-          r.used = true;
-          break;
+        if (cold_region_covers(r, tok) &&
+            (innermost == nullptr || r.begin > innermost->begin)) {
+          innermost = &r;
         }
+      }
+      if (innermost != nullptr) {
+        f.waived = true;
+        f.waiver_reason = innermost->reason;
+        innermost->used = true;
       }
     }
     out.push_back(std::move(f));
@@ -399,42 +179,65 @@ void scan_body(FileData& fd, const Node& n, std::vector<Finding>& out) {
   }
 }
 
-HotReport finish_report(Graph&& g, std::vector<std::string> errors) {
+HotReport finish_report(ProgramGraph&& g, std::vector<std::string> errors) {
   HotReport report;
   report.errors = std::move(errors);
   report.functions = g.nodes.size();
   report.edges = g.edge_count;
-  for (const Node& n : g.nodes) {
-    report.roots += n.hot ? 1 : 0;
-    report.reachable += n.reachable ? 1 : 0;
+
+  std::vector<HotFileState> state(g.files.size());
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    GraphFile& fd = g.files[fi];
+    HotFileState& st = state[fi];
+    st.waivers = collect_comment_waivers(fd.lexed.comments, "hotlint:allow",
+                                         fd.path, hot_rule_names(),
+                                         st.findings);
+    for (const int line : fd.structure.bad_cold_lines) {
+      st.findings.push_back({"bad-waiver", fd.path, line,
+                             "INBAND_COLD_OK is missing a justification",
+                             false, {}, {}});
+    }
   }
+
+  std::vector<int> seeds;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].hot) seeds.push_back(static_cast<int>(i));
+  }
+  report.roots = seeds.size();
+  std::vector<char> reachable;
+  std::vector<int> parent;
+  bfs_reach(g, seeds, reachable, parent);
+  for (const char r : reachable) report.reachable += r ? 1 : 0;
 
   // Hazards. Reachable functions produce real findings (with chains);
   // unreachable ones are probed so the waivers sitting on their hazards
   // still count as used instead of warning.
   for (std::size_t id = 0; id < g.nodes.size(); ++id) {
-    const Node& n = g.nodes[id];
-    FileData& fd = g.files[static_cast<std::size_t>(n.def.file)];
+    const GraphNode& n = g.nodes[id];
+    GraphFile& fd = g.files[static_cast<std::size_t>(n.def.file)];
+    HotFileState& st = state[static_cast<std::size_t>(n.def.file)];
     std::vector<Finding> found;
     scan_body(fd, n, found);
-    if (n.reachable) {
+    if (reachable[id]) {
       const std::vector<std::string> chain =
-          build_chain(g, static_cast<int>(id));
+          build_chain(g, parent, static_cast<int>(id));
       for (Finding& f : found) {
         f.chain = chain;
-        fd.findings.push_back(std::move(f));
+        st.findings.push_back(std::move(f));
       }
     } else {
       // Probe: let comment waivers match and be marked used, then drop.
-      apply_comment_waivers(fd.waivers, found);
+      apply_comment_waivers(st.waivers, found);
     }
   }
 
-  for (FileData& fd : g.files) {
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    GraphFile& fd = g.files[fi];
+    HotFileState& st = state[fi];
     report.files_scanned.push_back(fd.path);
-    apply_comment_waivers(fd.waivers, fd.findings);
-    for (Finding& f : fd.findings) report.findings.push_back(std::move(f));
-    for (UnusedWaiver& u : collect_unused_waivers(fd.waivers)) {
+    apply_comment_waivers(st.waivers, st.findings);
+    for (Finding& f : st.findings) report.findings.push_back(std::move(f));
+    for (UnusedWaiver& u : collect_unused_waivers(st.waivers)) {
       report.unused_waivers.push_back(std::move(u));
       report.unused_waiver_files.push_back(fd.path);
     }
@@ -450,44 +253,6 @@ HotReport finish_report(Graph&& g, std::vector<std::string> errors) {
                      std::tie(b.file, b.line, b.rule, b.message);
             });
   return report;
-}
-
-std::vector<HotInput> discover(const std::vector<std::string>& paths,
-                               std::vector<std::string>& errors) {
-  const std::set<std::string> kExtensions = {".h",  ".hh",  ".hpp",
-                                             ".cc", ".cpp", ".cxx"};
-  std::vector<fs::path> files;
-  for (const std::string& arg : paths) {
-    std::error_code ec;
-    const fs::path p{arg};
-    if (fs::is_directory(p, ec)) {
-      for (auto it = fs::recursive_directory_iterator(p, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file(ec) &&
-            kExtensions.count(it->path().extension().string()) > 0) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      errors.push_back("cannot read path: " + arg);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  std::vector<HotInput> inputs;
-  for (const fs::path& file : files) {
-    std::ifstream in{file, std::ios::binary};
-    if (!in) {
-      errors.push_back("cannot open file: " + file.string());
-      continue;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    inputs.push_back({file.generic_string(), buf.str()});
-  }
-  return inputs;
 }
 
 }  // namespace
@@ -511,41 +276,19 @@ const std::vector<std::string>& hot_rule_names() {
 }
 
 HotReport analyze_hot(std::vector<HotInput> inputs) {
-  return finish_report(build_graph(std::move(inputs)), {});
+  return finish_report(build_program_graph(std::move(inputs)), {});
 }
 
 HotReport scan_hot(const std::vector<std::string>& paths) {
   std::vector<std::string> errors;
-  std::vector<HotInput> inputs = discover(paths, errors);
-  return finish_report(build_graph(std::move(inputs)), std::move(errors));
+  std::vector<HotInput> inputs = discover_sources(paths, errors);
+  return finish_report(build_program_graph(std::move(inputs)),
+                       std::move(errors));
 }
 
 int render_hot_text(const HotReport& report, std::ostream& os) {
-  for (const std::string& err : report.errors) {
-    os << "hotlint: error: " << err << "\n";
-  }
-  for (const Finding& f : report.findings) {
-    if (f.waived) continue;
-    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
-       << "\n";
-    if (!f.chain.empty()) {
-      os << "    reached via:";
-      for (std::size_t i = 0; i < f.chain.size(); ++i) {
-        os << (i == 0 ? " " : " -> ") << f.chain[i];
-      }
-      os << "\n";
-    }
-  }
-  for (const Finding& f : report.findings) {
-    if (!f.waived) continue;
-    os << f.file << ":" << f.line << ": waived [" << f.rule
-       << "]: " << f.waiver_reason << "\n";
-  }
-  for (std::size_t i = 0; i < report.unused_waivers.size(); ++i) {
-    os << report.unused_waiver_files[i] << ":" << report.unused_waivers[i].line
-       << ": warning: unused waiver (" << report.unused_waivers[i].rules
-       << ")\n";
-  }
+  write_report_text(os, "hotlint", report.errors, report.findings,
+                    report.unused_waivers, report.unused_waiver_files);
   os << "hotlint: " << report.files_scanned.size() << " files, "
      << report.functions << " functions, " << report.roots << " hot roots, "
      << report.reachable << " reachable, " << report.unwaived()
@@ -559,66 +302,44 @@ int render_hot_json(const HotReport& report, std::ostream& os) {
   os << "  \"graph\": {\"functions\": " << report.functions
      << ", \"roots\": " << report.roots << ", \"edges\": " << report.edges
      << ", \"reachable\": " << report.reachable << "},\n";
-  os << "  \"findings\": [";
-  bool first = true;
-  for (const Finding& f : report.findings) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
-       << f.line << ", \"rule\": \"" << json_escape(f.rule)
-       << "\", \"waived\": " << (f.waived ? "true" : "false")
-       << ", \"message\": \"" << json_escape(f.message) << "\""
-       << ", \"waiver_reason\": \"" << json_escape(f.waiver_reason) << "\""
-       << ", \"chain\": [";
-    for (std::size_t i = 0; i < f.chain.size(); ++i) {
-      os << (i == 0 ? "" : ", ") << "\"" << json_escape(f.chain[i]) << "\"";
-    }
-    os << "]}";
-  }
-  os << "\n  ],\n";
-  os << "  \"unused_waivers\": [";
-  first = true;
-  for (std::size_t i = 0; i < report.unused_waivers.size(); ++i) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    {\"file\": \"" << json_escape(report.unused_waiver_files[i])
-       << "\", \"line\": " << report.unused_waivers[i].line
-       << ", \"rules\": \"" << json_escape(report.unused_waivers[i].rules)
-       << "\"}";
-  }
-  os << "\n  ],\n";
-  os << "  \"errors\": [";
-  first = true;
-  for (const std::string& err : report.errors) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    \"" << json_escape(err) << "\"";
-  }
-  os << "\n  ],\n";
-  os << "  \"counts\": {\"unwaived\": " << report.unwaived()
-     << ", \"waived\": " << report.waived()
-     << ", \"unused_waivers\": " << report.unused_waivers.size() << "}\n";
-  os << "}\n";
+  write_findings_json(os, report.findings, /*with_chain=*/true);
+  os << ",\n";
+  write_unused_waivers_json(os, report.unused_waivers,
+                            report.unused_waiver_files);
+  os << ",\n";
+  write_errors_json(os, report.errors);
+  os << ",\n";
+  write_counts_json(os, report.unwaived(), report.waived(),
+                    report.unused_waivers.size());
+  os << "\n}\n";
   return report.unwaived() == 0 && report.errors.empty() ? 0 : 1;
 }
 
 void dump_callgraph(std::vector<HotInput> inputs, CallgraphFormat format,
                     std::ostream& os) {
-  const Graph g = build_graph(std::move(inputs));
+  const ProgramGraph g = build_program_graph(std::move(inputs));
+  std::vector<int> seeds;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].hot) seeds.push_back(static_cast<int>(i));
+  }
+  std::vector<char> reachable;
+  std::vector<int> parent;
+  bfs_reach(g, seeds, reachable, parent);
   // Edges deduped by (caller, callee); the first call line wins.
   std::map<std::pair<int, int>, int> edges;
   for (std::size_t id = 0; id < g.nodes.size(); ++id) {
-    for (const auto& [target, line] : g.nodes[id].edges) {
-      edges.emplace(std::make_pair(static_cast<int>(id), target), line);
+    for (const GraphEdge& e : g.nodes[id].edges) {
+      edges.emplace(std::make_pair(static_cast<int>(id), e.target), e.line);
     }
   }
   if (format == CallgraphFormat::kDot) {
     os << "digraph hotlint {\n";
-    for (const Node& n : g.nodes) {
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      const GraphNode& n = g.nodes[i];
       os << "  \"" << display_name(n.def) << "\"";
       if (n.hot) {
         os << " [shape=box, style=bold]";
-      } else if (!n.reachable) {
+      } else if (!reachable[i]) {
         os << " [style=dotted]";
       }
       os << ";\n";
@@ -632,14 +353,15 @@ void dump_callgraph(std::vector<HotInput> inputs, CallgraphFormat format,
   }
   os << "{\n  \"functions\": [";
   bool first = true;
-  for (const Node& n : g.nodes) {
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    const GraphNode& n = g.nodes[i];
     os << (first ? "\n" : ",\n");
     first = false;
     os << "    {\"name\": \"" << json_escape(display_name(n.def))
        << "\", \"file\": \"" << json_escape(g.files[static_cast<std::size_t>(n.def.file)].path)
        << "\", \"line\": " << n.def.line
        << ", \"hot\": " << (n.hot ? "true" : "false")
-       << ", \"reachable\": " << (n.reachable ? "true" : "false") << "}";
+       << ", \"reachable\": " << (reachable[i] ? "true" : "false") << "}";
   }
   os << "\n  ],\n  \"edges\": [";
   first = true;
@@ -657,7 +379,7 @@ void dump_callgraph(std::vector<HotInput> inputs, CallgraphFormat format,
 int dump_callgraph_paths(const std::vector<std::string>& paths,
                          CallgraphFormat format, std::ostream& os) {
   std::vector<std::string> errors;
-  std::vector<HotInput> inputs = discover(paths, errors);
+  std::vector<HotInput> inputs = discover_sources(paths, errors);
   dump_callgraph(std::move(inputs), format, os);
   return errors.empty() ? 0 : 1;
 }

@@ -33,15 +33,13 @@
 #include <string>
 #include <vector>
 
+#include "lint_io.h"
 #include "rules.h"
 
 namespace detlint {
 
 // One file to analyze: display path plus its full source text.
-struct HotInput {
-  std::string path;
-  std::string source;
-};
+using HotInput = SourceInput;
 
 struct HotReport {
   std::vector<Finding> findings;             // across all files, sorted

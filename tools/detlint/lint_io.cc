@@ -1,0 +1,196 @@
+#include "lint_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::set<std::string>& extensions() {
+  static const std::set<std::string> s = {".h",  ".hh",  ".hpp",
+                                          ".cc", ".cpp", ".cxx"};
+  return s;
+}
+
+}  // namespace
+
+std::vector<SourceInput> discover_sources(
+    const std::vector<std::string>& paths, std::vector<std::string>& errors,
+    std::vector<fs::path>* dir_roots) {
+  std::vector<fs::path> files;
+  for (const std::string& arg : paths) {
+    std::error_code ec;
+    const fs::path p{arg};
+    if (fs::is_directory(p, ec)) {
+      if (dir_roots != nullptr) {
+        dir_roots->push_back(p);
+        // Headers are included as "subsystem/file.h" rooted one level above
+        // the scanned tree (e.g. `detlint src` with `#include "lb/..."`).
+        if (p.has_parent_path()) dir_roots->push_back(p.parent_path());
+      }
+      for (auto it = fs::recursive_directory_iterator(p, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file(ec) &&
+            extensions().count(it->path().extension().string()) > 0) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      errors.push_back("cannot read path: " + arg);
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the linters' own
+  // output must not be.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<SourceInput> inputs;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      errors.push_back("cannot open file: " + file.string());
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    inputs.push_back({file.generic_string(), buf.str()});
+  }
+  return inputs;
+}
+
+bool path_matches_include(const std::string& path, const std::string& inc) {
+  if (path == inc) return true;
+  const std::string suffix = "/" + inc;
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_findings_json(std::ostream& os, const std::vector<Finding>& findings,
+                         bool with_chain) {
+  os << "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+       << f.line << ", \"rule\": \"" << json_escape(f.rule)
+       << "\", \"waived\": " << (f.waived ? "true" : "false")
+       << ", \"message\": \"" << json_escape(f.message) << "\""
+       << ", \"waiver_reason\": \"" << json_escape(f.waiver_reason) << "\"";
+    if (with_chain) {
+      os << ", \"chain\": [";
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << json_escape(f.chain[i]) << "\"";
+      }
+      os << "]";
+    }
+    os << "}";
+  }
+  os << "\n  ]";
+}
+
+void write_unused_waivers_json(std::ostream& os,
+                               const std::vector<UnusedWaiver>& unused,
+                               const std::vector<std::string>& files) {
+  os << "  \"unused_waivers\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < unused.size(); ++i) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"file\": \"" << json_escape(files[i])
+       << "\", \"line\": " << unused[i].line << ", \"rules\": \""
+       << json_escape(unused[i].rules) << "\"}";
+  }
+  os << "\n  ]";
+}
+
+void write_errors_json(std::ostream& os,
+                       const std::vector<std::string>& errors) {
+  os << "  \"errors\": [";
+  bool first = true;
+  for (const std::string& err : errors) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << json_escape(err) << "\"";
+  }
+  os << "\n  ]";
+}
+
+void write_counts_json(std::ostream& os, std::size_t unwaived,
+                       std::size_t waived, std::size_t unused) {
+  os << "  \"counts\": {\"unwaived\": " << unwaived << ", \"waived\": "
+     << waived << ", \"unused_waivers\": " << unused << "}";
+}
+
+void write_report_text(std::ostream& os, const std::string& tool,
+                       const std::vector<std::string>& errors,
+                       const std::vector<Finding>& findings,
+                       const std::vector<UnusedWaiver>& unused,
+                       const std::vector<std::string>& unused_files) {
+  for (const std::string& err : errors) {
+    os << tool << ": error: " << err << "\n";
+  }
+  for (const Finding& f : findings) {
+    if (f.waived) continue;
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+    if (!f.chain.empty()) {
+      os << "    reached via:";
+      for (std::size_t i = 0; i < f.chain.size(); ++i) {
+        os << (i == 0 ? " " : " -> ") << f.chain[i];
+      }
+      os << "\n";
+    }
+  }
+  for (const Finding& f : findings) {
+    if (!f.waived) continue;
+    os << f.file << ":" << f.line << ": waived [" << f.rule
+       << "]: " << f.waiver_reason << "\n";
+  }
+  for (std::size_t i = 0; i < unused.size(); ++i) {
+    os << unused_files[i] << ":" << unused[i].line
+       << ": warning: unused waiver (" << unused[i].rules << ")\n";
+  }
+}
+
+}  // namespace detlint

@@ -1,0 +1,64 @@
+// Shared I/O plumbing for the detlint analyzer family (detlint, hotlint,
+// shardlint): source-file discovery with the common extension set, quoted-
+// include resolution (both the filesystem flavour detlint's scanner uses and
+// the scanned-set suffix flavour the whole-program analyzers use), and the
+// JSON fragments every report renderer emits. Factored here so the third
+// analyzer does not copy the second copy.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"  // Finding, UnusedWaiver
+
+namespace detlint {
+
+// One source file handed to a whole-program analyzer: display path plus the
+// full source text.
+struct SourceInput {
+  std::string path;
+  std::string source;
+};
+
+// Discovers C++ sources (.h .hh .hpp .cc .cpp .cxx) under `paths` (files or
+// directories, recursed), reads them, and returns them keyed by
+// generic_string path. Unreadable paths append to `errors`. Results are in
+// sorted path order so every downstream report is deterministic. When
+// `dir_roots` is non-null, each directory argument (and its parent, the
+// "subsystem/file.h" include root) is appended to it.
+std::vector<SourceInput> discover_sources(
+    const std::vector<std::string>& paths, std::vector<std::string>& errors,
+    std::vector<std::filesystem::path>* dir_roots = nullptr);
+
+// True when `path` refers to the quoted include `inc`: an exact match or a
+// "/"-boundary suffix match ("src/net/link.h" includes "net/link.h").
+bool path_matches_include(const std::string& path, const std::string& inc);
+
+// JSON string escaping shared by every renderer.
+std::string json_escape(const std::string& s);
+
+// The shared report fragments. Each writes a complete `"key": value` JSON
+// member (no trailing comma). `with_chain` adds the per-finding "chain"
+// array used by the call-graph analyzers.
+void write_findings_json(std::ostream& os, const std::vector<Finding>& findings,
+                         bool with_chain);
+void write_unused_waivers_json(std::ostream& os,
+                               const std::vector<UnusedWaiver>& unused,
+                               const std::vector<std::string>& files);
+void write_errors_json(std::ostream& os,
+                       const std::vector<std::string>& errors);
+void write_counts_json(std::ostream& os, std::size_t unwaived,
+                       std::size_t waived, std::size_t unused);
+
+// The shared text-report body: errors, unwaived findings (with chains when
+// present), waived findings, unused-waiver warnings. `tool` prefixes error
+// lines ("detlint: error: ...").
+void write_report_text(std::ostream& os, const std::string& tool,
+                       const std::vector<std::string>& errors,
+                       const std::vector<Finding>& findings,
+                       const std::vector<UnusedWaiver>& unused,
+                       const std::vector<std::string>& unused_files);
+
+}  // namespace detlint

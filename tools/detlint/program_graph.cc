@@ -1,0 +1,165 @@
+#include "program_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace detlint {
+
+bool is_log_macro(const std::string& name) {
+  if (name.size() < 5 || name.compare(0, 4, "LOG_") != 0) return false;
+  for (std::size_t i = 4; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!(c >= 'A' && c <= 'Z') && !(c >= '0' && c <= '9') && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool cold_region_covers(const ColdRegion& r, std::size_t token) {
+  return token > r.begin + 3 && token <= r.end;
+}
+
+ProgramGraph build_program_graph(std::vector<SourceInput> inputs) {
+  ProgramGraph g;
+  std::sort(inputs.begin(), inputs.end(),
+            [](const SourceInput& a, const SourceInput& b) {
+              return a.path < b.path;
+            });
+  inputs.erase(std::unique(inputs.begin(), inputs.end(),
+                           [](const SourceInput& a, const SourceInput& b) {
+                             return a.path == b.path;
+                           }),
+               inputs.end());
+
+  for (const SourceInput& in : inputs) {
+    GraphFile fd;
+    fd.path = in.path;
+    fd.lexed = lex(in.source);
+    fd.structure = analyze_structure(fd.lexed, static_cast<int>(g.files.size()));
+    for (const Token& t : fd.lexed.tokens) {
+      if (t.kind == TokenKind::kIdent && is_log_macro(t.text)) {
+        fd.log_lines.insert(t.line);
+      }
+    }
+    fd.globals.insert(fd.structure.decls.mutable_globals.begin(),
+                      fd.structure.decls.mutable_globals.end());
+    fd.maps.insert(fd.structure.decls.map_names.begin(),
+                   fd.structure.decls.map_names.end());
+    g.files.push_back(std::move(fd));
+  }
+
+  // Resolve quoted includes against the scanned set by path suffix, and
+  // union the included files' shard-relevant declarations: a .cc touching a
+  // global or a map declared in its header must still be caught.
+  for (GraphFile& fd : g.files) {
+    for (const std::string& inc : fd.lexed.includes) {
+      for (const GraphFile& other : g.files) {
+        if (!path_matches_include(other.path, inc)) continue;
+        fd.globals.insert(other.structure.decls.mutable_globals.begin(),
+                          other.structure.decls.mutable_globals.end());
+        fd.maps.insert(other.structure.decls.map_names.begin(),
+                       other.structure.decls.map_names.end());
+        break;
+      }
+    }
+  }
+
+  // Global node list + name indices.
+  std::map<std::string, std::vector<int>> by_name;
+  std::map<std::string, std::vector<int>> by_qualified;
+  std::set<std::string> hot_names;
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    GraphFile& fd = g.files[fi];
+    for (FunctionDef& def : fd.structure.functions) {
+      GraphNode n;
+      n.def = def;
+      n.calls = find_calls(fd.lexed, n.def);
+      const int id = static_cast<int>(g.nodes.size());
+      by_name[n.def.name].push_back(id);
+      if (!n.def.qualifier.empty()) {
+        by_qualified[n.def.qualifier + "::" + n.def.name].push_back(id);
+      }
+      g.nodes.push_back(std::move(n));
+    }
+    hot_names.insert(fd.structure.hot_names.begin(),
+                     fd.structure.hot_names.end());
+  }
+
+  // Edges. A cold region cuts outgoing edges (the slow path it justifies
+  // may call whatever it likes); LOG_* lines are exempt wholesale.
+  for (GraphNode& n : g.nodes) {
+    GraphFile& fd = g.files[static_cast<std::size_t>(n.def.file)];
+    for (const CallSite& cs : n.calls) {
+      if (cs.callee == "INBAND_COLD_OK" || cs.callee == "INBAND_HOT") continue;
+      bool cold = false;
+      for (ColdRegion& r : fd.structure.cold_regions) {
+        if (cold_region_covers(r, cs.token)) {
+          r.used = true;
+          cold = true;
+        }
+      }
+      if (cold) continue;
+      if (fd.log_lines.count(cs.line) > 0) continue;
+      if (cs.qualifier == "std") continue;
+      const std::vector<int>* targets = nullptr;
+      if (!cs.qualifier.empty()) {
+        const auto it = by_qualified.find(cs.qualifier + "::" + cs.callee);
+        if (it != by_qualified.end()) targets = &it->second;
+      }
+      if (targets == nullptr) {
+        const auto it = by_name.find(cs.callee);
+        if (it != by_name.end()) targets = &it->second;
+      }
+      if (targets == nullptr) continue;
+      for (const int t : *targets) {
+        n.edges.push_back({t, cs.line, cs.member_call, !cs.qualifier.empty()});
+        ++g.edge_count;
+      }
+    }
+    if (hot_names.count(n.def.name) > 0) n.hot = true;
+  }
+  return g;
+}
+
+void bfs_reach(const ProgramGraph& g, const std::vector<int>& seeds,
+               std::vector<char>& reachable, std::vector<int>& parent) {
+  reachable.assign(g.nodes.size(), 0);
+  parent.assign(g.nodes.size(), -1);
+  std::deque<int> queue;
+  for (const int s : seeds) {
+    if (reachable[static_cast<std::size_t>(s)]) continue;
+    reachable[static_cast<std::size_t>(s)] = 1;
+    queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop_front();
+    for (const GraphEdge& e : g.nodes[static_cast<std::size_t>(id)].edges) {
+      auto& seen = reachable[static_cast<std::size_t>(e.target)];
+      if (seen) continue;
+      seen = 1;
+      parent[static_cast<std::size_t>(e.target)] = id;
+      queue.push_back(e.target);
+    }
+  }
+}
+
+std::string chain_entry(const ProgramGraph& g, const GraphNode& n) {
+  return display_name(n.def) + " (" +
+         g.files[static_cast<std::size_t>(n.def.file)].path + ":" +
+         std::to_string(n.def.line) + ")";
+}
+
+std::vector<std::string> build_chain(const ProgramGraph& g,
+                                     const std::vector<int>& parent, int id) {
+  std::vector<std::string> chain;
+  for (int cur = id; cur != -1; cur = parent[static_cast<std::size_t>(cur)]) {
+    chain.push_back(chain_entry(g, g.nodes[static_cast<std::size_t>(cur)]));
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace detlint

@@ -1,0 +1,84 @@
+// Whole-program call-graph assembly over callgraph.h's per-file harvest.
+//
+// Shared by the path-aware analyzers (hotlint, shardlint): lexes every
+// input, runs the pass-1 structure scan, unions shard-relevant declarations
+// from quoted includes resolved against the scanned set, builds the global
+// node list with name/qualified indices, and links call sites to definitions
+// (qualified lookup first, name-only fallback; member calls fan out to every
+// same-named method). Cold regions cut outgoing edges and are marked used
+// when they do; LOG_* macro lines contribute no edges.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "callgraph.h"
+#include "lint_io.h"
+
+namespace detlint {
+
+struct GraphFile {
+  std::string path;
+  LexResult lexed;
+  FileStructure structure;
+  std::set<int> log_lines;        // lines carrying a LOG_* macro
+  std::set<std::string> globals;  // effective: own + included files'
+  std::set<std::string> maps;
+};
+
+struct GraphEdge {
+  int target = -1;
+  int line = 0;
+  // True when the edge comes from a receiver call (`x.f(` / `x->f(`).
+  bool member_call = false;
+  // True when the call site named its target precisely (`Cls::fn(`).
+  // Member and bare unqualified calls resolve by name only and may
+  // over-approximate dispatch; shardlint cuts those imprecise edges at
+  // declared ownership-domain boundaries and trusts only qualified calls
+  // to cross them.
+  bool qualified = false;
+};
+
+struct GraphNode {
+  FunctionDef def;
+  std::vector<CallSite> calls;
+  std::vector<GraphEdge> edges;
+  bool hot = false;
+};
+
+struct ProgramGraph {
+  std::vector<GraphFile> files;
+  std::vector<GraphNode> nodes;
+  std::size_t edge_count = 0;
+};
+
+// An identifier spelled LOG_<UPPER> marks a level-guarded logging macro;
+// hazards and call edges on its line are suppressed (the macro compiles the
+// expression out below the active level).
+bool is_log_macro(const std::string& name);
+
+// True when a cold region covers the token, excluding the marker's own
+// INBAND_COLD_OK("...") tokens so a region does not justify itself.
+bool cold_region_covers(const ColdRegion& r, std::size_t token);
+
+// Inputs are deduped and processed in sorted path order regardless of the
+// order given, so node ids (and with them every report) are deterministic.
+ProgramGraph build_program_graph(std::vector<SourceInput> inputs);
+
+// BFS over the graph from `seeds`, filling `reachable` and the BFS tree
+// `parent` (-1 for seeds and unreached nodes). Vectors are sized to the
+// node count by the call.
+void bfs_reach(const ProgramGraph& g, const std::vector<int>& seeds,
+               std::vector<char>& reachable, std::vector<int>& parent);
+
+// "Qualified::name (file:line)" for one node.
+std::string chain_entry(const ProgramGraph& g, const GraphNode& n);
+
+// Root -> ... -> node chain along the BFS tree recorded in `parent`.
+std::vector<std::string> build_chain(const ProgramGraph& g,
+                                     const std::vector<int>& parent, int id);
+
+}  // namespace detlint

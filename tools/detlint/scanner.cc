@@ -1,61 +1,25 @@
 #include "scanner.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <ostream>
-#include <set>
 #include <sstream>
 #include <tuple>
+
+#include "lint_io.h"
 
 namespace detlint {
 namespace {
 
 namespace fs = std::filesystem;
 
-const std::set<std::string> kExtensions = {".h",  ".hh",  ".hpp",
-                                           ".cc", ".cpp", ".cxx"};
-
 bool control_path(const fs::path& p) {
   for (const auto& part : p) {
     if (part == "lb" || part == "core") return true;
   }
   return false;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -72,33 +36,9 @@ std::size_t ScanReport::waived() const { return findings.size() - unwaived(); }
 
 ScanReport scan(const std::vector<std::string>& paths) {
   ScanReport report;
-  std::vector<fs::path> files;
   std::vector<fs::path> include_roots;
-  for (const std::string& arg : paths) {
-    std::error_code ec;
-    const fs::path p{arg};
-    if (fs::is_directory(p, ec)) {
-      include_roots.push_back(p);
-      // Headers are included as "subsystem/file.h" rooted one level above
-      // the scanned tree (e.g. `detlint src` with `#include "lb/..."`).
-      if (p.has_parent_path()) include_roots.push_back(p.parent_path());
-      for (auto it = fs::recursive_directory_iterator(p, ec);
-           !ec && it != fs::recursive_directory_iterator(); ++it) {
-        if (it->is_regular_file(ec) &&
-            kExtensions.count(it->path().extension().string()) > 0) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);
-    } else {
-      report.errors.push_back("cannot read path: " + arg);
-    }
-  }
-  // Directory iteration order is filesystem-dependent; the linter's own
-  // output must not be.
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  const std::vector<SourceInput> inputs =
+      discover_sources(paths, report.errors, &include_roots);
 
   // Declarations from directly-included project headers, cached per header.
   std::map<std::string, HarvestedDecls> harvest_cache;
@@ -113,22 +53,14 @@ ScanReport scan(const std::vector<std::string>& paths) {
     return &harvest_cache.emplace(key, harvest_decls(buf.str())).first->second;
   };
 
-  for (const fs::path& file : files) {
-    std::ifstream in{file, std::ios::binary};
-    if (!in) {
-      report.errors.push_back("cannot open file: " + file.string());
-      continue;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string source = buf.str();
-    const std::string display = file.generic_string();
-    report.files_scanned.push_back(display);
+  for (const SourceInput& input : inputs) {
+    const fs::path file{input.path};
+    report.files_scanned.push_back(input.path);
 
     // Resolve quoted includes one level deep against the scan roots and the
     // including file's own directory, and union their declarations.
     HarvestedDecls imported;
-    for (const std::string& inc : lex(source).includes) {
+    for (const std::string& inc : lex(input.source).includes) {
       std::vector<fs::path> candidates;
       candidates.push_back(file.parent_path() / inc);
       for (const fs::path& root : include_roots) candidates.push_back(root / inc);
@@ -149,11 +81,11 @@ ScanReport scan(const std::vector<std::string>& paths) {
     }
 
     FileReport fr =
-        analyze_source(display, source, control_path(file), &imported);
+        analyze_source(input.path, input.source, control_path(file), &imported);
     for (Finding& f : fr.findings) report.findings.push_back(std::move(f));
     for (UnusedWaiver& w : fr.unused_waivers) {
       report.unused_waivers.push_back(std::move(w));
-      report.unused_waiver_files.push_back(display);
+      report.unused_waiver_files.push_back(input.path);
     }
   }
   std::sort(report.findings.begin(), report.findings.end(),
@@ -165,24 +97,8 @@ ScanReport scan(const std::vector<std::string>& paths) {
 }
 
 int render_text(const ScanReport& report, std::ostream& os) {
-  for (const std::string& err : report.errors) {
-    os << "detlint: error: " << err << "\n";
-  }
-  for (const Finding& f : report.findings) {
-    if (f.waived) continue;
-    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
-       << "\n";
-  }
-  for (const Finding& f : report.findings) {
-    if (!f.waived) continue;
-    os << f.file << ":" << f.line << ": waived [" << f.rule
-       << "]: " << f.waiver_reason << "\n";
-  }
-  for (std::size_t i = 0; i < report.unused_waivers.size(); ++i) {
-    os << report.unused_waiver_files[i] << ":" << report.unused_waivers[i].line
-       << ": warning: unused waiver (" << report.unused_waivers[i].rules
-       << ")\n";
-  }
+  write_report_text(os, "detlint", report.errors, report.findings,
+                    report.unused_waivers, report.unused_waiver_files);
   os << "detlint: " << report.files_scanned.size() << " files, "
      << report.unwaived() << " finding(s), " << report.waived()
      << " waived\n";
@@ -192,41 +108,16 @@ int render_text(const ScanReport& report, std::ostream& os) {
 int render_json(const ScanReport& report, std::ostream& os) {
   os << "{\n  \"version\": 1,\n";
   os << "  \"files_scanned\": " << report.files_scanned.size() << ",\n";
-  os << "  \"findings\": [";
-  bool first = true;
-  for (const Finding& f : report.findings) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
-       << f.line << ", \"rule\": \"" << json_escape(f.rule)
-       << "\", \"waived\": " << (f.waived ? "true" : "false")
-       << ", \"message\": \"" << json_escape(f.message) << "\""
-       << ", \"waiver_reason\": \"" << json_escape(f.waiver_reason) << "\"}";
-  }
-  os << "\n  ],\n";
-  os << "  \"unused_waivers\": [";
-  first = true;
-  for (std::size_t i = 0; i < report.unused_waivers.size(); ++i) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    {\"file\": \"" << json_escape(report.unused_waiver_files[i])
-       << "\", \"line\": " << report.unused_waivers[i].line
-       << ", \"rules\": \"" << json_escape(report.unused_waivers[i].rules)
-       << "\"}";
-  }
-  os << "\n  ],\n";
-  os << "  \"errors\": [";
-  first = true;
-  for (const std::string& err : report.errors) {
-    os << (first ? "\n" : ",\n");
-    first = false;
-    os << "    \"" << json_escape(err) << "\"";
-  }
-  os << "\n  ],\n";
-  os << "  \"counts\": {\"unwaived\": " << report.unwaived()
-     << ", \"waived\": " << report.waived()
-     << ", \"unused_waivers\": " << report.unused_waivers.size() << "}\n";
-  os << "}\n";
+  write_findings_json(os, report.findings, /*with_chain=*/false);
+  os << ",\n";
+  write_unused_waivers_json(os, report.unused_waivers,
+                            report.unused_waiver_files);
+  os << ",\n";
+  write_errors_json(os, report.errors);
+  os << ",\n";
+  write_counts_json(os, report.unwaived(), report.waived(),
+                    report.unused_waivers.size());
+  os << "\n}\n";
   return report.unwaived() == 0 && report.errors.empty() ? 0 : 1;
 }
 

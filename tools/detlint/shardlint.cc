@@ -1,0 +1,547 @@
+#include "shardlint.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "callgraph.h"
+#include "program_graph.h"
+#include "shardstate.h"
+#include "waivers.h"
+
+namespace detlint {
+namespace {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokenKind::kPunct && t.text == p;
+}
+
+// RNG-engine type spellings: a mutable member of one of these types is a
+// random stream whose draw order must stay within one owner.
+const std::set<std::string>& rng_types() {
+  static const std::set<std::string> s = {
+      "Rng", "mt19937", "mt19937_64", "minstd_rand", "default_random_engine",
+      "ranlux24", "ranlux48", "knuth_b"};
+  return s;
+}
+
+// Integral spellings that make a member eligible for the sequence rule.
+const std::set<std::string>& integral_types() {
+  static const std::set<std::string> s = {
+      "int",      "unsigned", "long",     "short",    "size_t",
+      "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t", "SimTime",  "ptrdiff_t"};
+  return s;
+}
+
+// Owning smart pointers transfer state into the holder's domain; only raw
+// pointer/reference members alias another domain's state.
+const std::set<std::string>& owning_ptrs() {
+  static const std::set<std::string> s = {"unique_ptr", "shared_ptr"};
+  return s;
+}
+
+bool is_owner_class(const ShardClass& c) {
+  return c.annotation == ShardAnnotation::kLocal && c.domain == "owner";
+}
+bool is_named_local(const ShardClass& c) {
+  return c.annotation == ShardAnnotation::kLocal && c.domain != "owner";
+}
+
+bool is_rng_member(const ShardMember& m) {
+  if (m.is_const || m.is_ptr || m.is_ref) return false;
+  for (const std::string& t : m.type_idents) {
+    if (rng_types().count(t) > 0) return true;
+  }
+  return false;
+}
+
+bool is_seq_member(const ShardMember& m) {
+  if (m.is_const || m.is_ptr || m.is_ref) return false;
+  bool integral = false;
+  for (const std::string& t : m.type_idents) {
+    if (integral_types().count(t) > 0) integral = true;
+  }
+  if (!integral) return false;
+  return m.name.compare(0, 5, "next_") == 0 ||
+         m.name.find("seq") != std::string::npos ||
+         m.name.find("counter") != std::string::npos;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) {
+      ++depth;
+    } else if (is_punct(toks[i], close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, "<")) {
+      ++depth;
+    } else if (is_punct(t, ">")) {
+      --depth;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return i;
+    }
+    ++i;
+    if (depth <= 0) return i;
+  }
+  return i;
+}
+
+// Per-domain reachability: the BFS tree for chain reconstruction plus the
+// classes whose methods the walk visited.
+struct DomainWalk {
+  std::vector<char> reach;
+  std::vector<int> parent;
+};
+
+ShardReport finish_report(ProgramGraph&& g, std::vector<std::string> errors) {
+  ShardReport report;
+  report.errors = std::move(errors);
+
+  // Merged class registry across the program. Duplicate names (same class
+  // harvested from several files would need a redefinition; in practice
+  // same-named locals in different .cc files) merge: the first definition
+  // wins for identity, the first annotation wins, members append.
+  std::map<std::string, ShardClass> registry;
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    for (ShardClass& c :
+         harvest_shard_classes(g.files[fi].lexed, static_cast<int>(fi))) {
+      auto it = registry.find(c.name);
+      if (it == registry.end()) {
+        registry.emplace(c.name, std::move(c));
+        continue;
+      }
+      ShardClass& r = it->second;
+      if (r.annotation == ShardAnnotation::kNone &&
+          c.annotation != ShardAnnotation::kNone) {
+        r.annotation = c.annotation;
+        r.domain = c.domain;
+      }
+      r.members.insert(r.members.end(),
+                       std::make_move_iterator(c.members.begin()),
+                       std::make_move_iterator(c.members.end()));
+    }
+  }
+  report.classes = registry.size();
+  std::set<std::string> named_domains;
+  for (const auto& [name, c] : registry) {
+    if (c.annotation != ShardAnnotation::kNone) ++report.annotated;
+    if (is_named_local(c)) named_domains.insert(c.domain);
+  }
+  report.domains = named_domains.size();
+
+  const auto lookup = [&](const std::string& name) -> const ShardClass* {
+    if (name.empty()) return nullptr;
+    const auto it = registry.find(name);
+    return it == registry.end() ? nullptr : &it->second;
+  };
+
+  // Hot roots grouped by ownership domain. `owner`, channel and
+  // shared-const roots seed no walk of their own (their state is exempt and
+  // whatever they reach belongs to the calling/receiving domain);
+  // unannotated and free roots get a "?" pseudo-domain each, which makes
+  // everything they share with a real domain visibly multi-domain.
+  std::map<std::string, std::vector<int>> domain_seeds;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (!g.nodes[i].hot) continue;
+    ++report.roots;
+    const GraphNode& n = g.nodes[i];
+    const ShardClass* c = lookup(n.def.qualifier);
+    std::string d;
+    if (c == nullptr) {
+      d = "?" + display_name(n.def);
+    } else if (is_named_local(*c)) {
+      d = c->domain;
+    } else if (c->annotation == ShardAnnotation::kNone) {
+      d = "?" + n.def.qualifier;
+    } else {
+      continue;  // owner / channel / shared-const root
+    }
+    domain_seeds[d].push_back(static_cast<int>(i));
+  }
+
+  // Per-domain walks. touched[class][domain] = first visited node of that
+  // class (for the chain); reached_any additionally covers owner classes
+  // for the static-member rule.
+  std::map<std::string, DomainWalk> walks;
+  std::map<std::string, std::map<std::string, int>> touched;
+  std::set<std::string> reached_any;
+  for (const auto& [d, seeds] : domain_seeds) {
+    DomainWalk w;
+    w.reach.assign(g.nodes.size(), 0);
+    w.parent.assign(g.nodes.size(), -1);
+    std::deque<int> queue;
+    for (const int s : seeds) {
+      if (w.reach[static_cast<std::size_t>(s)]) continue;
+      w.reach[static_cast<std::size_t>(s)] = 1;
+      queue.push_back(s);
+    }
+    while (!queue.empty()) {
+      const int id = queue.front();
+      queue.pop_front();
+      const GraphNode& n = g.nodes[static_cast<std::size_t>(id)];
+      const ShardClass* cn = lookup(n.def.qualifier);
+      if (cn != nullptr) {
+        // Channel boundary: record nothing (its state is the sanctioned
+        // crossing) and cut the walk — what the channel hands on is the
+        // receiving domain's state, covered by that domain's own roots.
+        if (cn->annotation == ShardAnnotation::kChannel) continue;
+        if (cn->annotation == ShardAnnotation::kSharedConst) continue;
+        reached_any.insert(cn->name);
+        if (!is_owner_class(*cn)) {
+          touched[cn->name].emplace(d, id);
+        }
+      }
+      for (const GraphEdge& e : n.edges) {
+        const GraphNode& tn = g.nodes[static_cast<std::size_t>(e.target)];
+        if (!e.qualified) {
+          // Member and bare calls resolve by name only; at a declared
+          // foreign-domain boundary the annotation is trusted over the
+          // lexical match. Only explicitly qualified `Cls::fn(` calls are
+          // precise enough evidence to cross domains.
+          const ShardClass* ct = lookup(tn.def.qualifier);
+          if (ct != nullptr && is_named_local(*ct) && ct->domain != d) {
+            continue;
+          }
+        }
+        auto& seen = w.reach[static_cast<std::size_t>(e.target)];
+        if (seen) continue;
+        seen = 1;
+        w.parent[static_cast<std::size_t>(e.target)] = id;
+        queue.push_back(e.target);
+      }
+    }
+    walks.emplace(d, std::move(w));
+  }
+
+  // Findings, grouped per file for the waiver pass.
+  std::vector<std::vector<Finding>> per_file(g.files.size());
+  const auto add = [&](int file, int line, const std::string& rule,
+                       std::string message, std::vector<std::string> chain) {
+    per_file[static_cast<std::size_t>(file)].push_back(
+        {rule, g.files[static_cast<std::size_t>(file)].path, line,
+         std::move(message), false, {}, std::move(chain)});
+  };
+  const auto chain_for = [&](const std::string& cls,
+                             const std::string& d) -> std::vector<std::string> {
+    const auto tit = touched.find(cls);
+    if (tit == touched.end()) return {};
+    const auto dit = tit->second.find(d);
+    if (dit == tit->second.end()) return {};
+    return build_chain(g, walks.at(d).parent, dit->second);
+  };
+
+  for (const auto& [name, c] : registry) {
+    if (c.annotation == ShardAnnotation::kChannel ||
+        c.annotation == ShardAnnotation::kSharedConst) {
+      continue;
+    }
+    std::vector<std::string> doms;
+    const auto tit = touched.find(name);
+    if (tit != touched.end()) {
+      for (const auto& [d, id] : tit->second) doms.push_back(d);
+    }
+
+    // Decl-form escape: a raw pointer/reference member aliasing another
+    // named local domain's class. Path-independent — the alias is the
+    // hazard whether or not a walk crosses it yet.
+    if (is_named_local(c)) {
+      for (const ShardMember& m : c.members) {
+        if (!m.is_ptr && !m.is_ref) continue;
+        bool owning = false;
+        for (const std::string& t : m.type_idents) {
+          if (owning_ptrs().count(t) > 0) owning = true;
+        }
+        if (owning) continue;
+        for (const std::string& t : m.type_idents) {
+          const ShardClass* o = lookup(t);
+          if (o != nullptr && is_named_local(*o) && o->domain != c.domain) {
+            add(m.file, m.line, "shard-escape",
+                "member '" + m.name + "' of '" + name + "' (domain " +
+                    c.domain + ") aliases '" + t + "' state of domain " +
+                    o->domain + "; cross-domain access must go through an "
+                    "INBAND_SHARD_CHANNEL class",
+                chain_for(name, doms.empty() ? "" : doms.front()));
+            break;
+          }
+        }
+      }
+      // Reach-form escape: another domain's walk touched this class.
+      for (const std::string& d : doms) {
+        if (d == c.domain) continue;
+        add(c.file, c.line, "shard-escape",
+            "'" + name + "' (domain " + c.domain +
+                ") state is reached from domain '" + d + "'",
+            chain_for(name, d));
+      }
+    }
+
+    bool member_finding = false;
+    if (doms.size() >= 2) {
+      for (const ShardMember& m : c.members) {
+        if (is_rng_member(m)) {
+          add(m.file, m.line, "shard-rng",
+              "RNG member '" + m.name + "' of '" + name +
+                  "' is reachable from domains (" + join(doms) +
+                  "); draw interleaving would depend on cross-domain timing",
+              chain_for(name, doms.front()));
+          member_finding = true;
+        } else if (is_seq_member(m)) {
+          add(m.file, m.line, "shard-seq",
+              "sequence member '" + m.name + "' of '" + name +
+                  "' is reachable from domains (" + join(doms) +
+                  "); allocation order would depend on cross-domain timing",
+              chain_for(name, doms.front()));
+          member_finding = true;
+        }
+      }
+    }
+
+    if (c.annotation == ShardAnnotation::kNone && doms.size() >= 2 &&
+        !member_finding) {
+      bool mutable_member = false;
+      for (const ShardMember& m : c.members) {
+        if (!m.is_const && !m.is_static) mutable_member = true;
+      }
+      if (mutable_member) {
+        add(c.file, c.line, "unannotated-shared",
+            "'" + name + "' has mutable state reached from domains (" +
+                join(doms) + ") but no INBAND_SHARD_* annotation",
+            chain_for(name, doms.front()));
+      }
+    }
+
+    // Mutable static data members are process-wide state regardless of the
+    // class's own annotation; flagged once the class is on any hot path.
+    if (reached_any.count(name) > 0) {
+      for (const ShardMember& m : c.members) {
+        if (!m.is_static || m.is_const) continue;
+        add(m.file, m.line, "unannotated-shared",
+            "mutable static member '" + m.name + "' of '" + name +
+                "' is process-wide shared state",
+            doms.empty() ? std::vector<std::string>{}
+                         : chain_for(name, doms.front()));
+      }
+    }
+  }
+
+  // Arg-pass RNG coupling: inside a method of Q, a member call on another
+  // object with an RNG member of Q in the argument list hands Q's stream
+  // across an object boundary (the pre-refactor injector bug). Path-
+  // independent: the coupling exists however the method is reached.
+  for (const GraphNode& n : g.nodes) {
+    const ShardClass* cq = lookup(n.def.qualifier);
+    if (cq == nullptr || cq->annotation == ShardAnnotation::kChannel) continue;
+    std::set<std::string> rng_members;
+    for (const ShardMember& m : cq->members) {
+      if (is_rng_member(m)) rng_members.insert(m.name);
+    }
+    if (rng_members.empty()) continue;
+    const GraphFile& fd = g.files[static_cast<std::size_t>(n.def.file)];
+    const std::vector<Token>& toks = fd.lexed.tokens;
+    for (const CallSite& cs : n.calls) {
+      if (!cs.member_call || cs.token < 2) continue;
+      const Token& recv = toks[cs.token - 2];
+      if (recv.kind != TokenKind::kIdent || recv.text == "this" ||
+          rng_members.count(recv.text) > 0) {
+        continue;
+      }
+      std::size_t open = cs.token + 1;
+      if (open < toks.size() && is_punct(toks[open], "<")) {
+        open = skip_template_args(toks, open);
+      }
+      if (open >= toks.size() || !is_punct(toks[open], "(")) continue;
+      const std::size_t past = skip_balanced(toks, open, "(", ")");
+      for (std::size_t k = open + 1; k + 1 < past; ++k) {
+        if (toks[k].kind == TokenKind::kIdent &&
+            rng_members.count(toks[k].text) > 0) {
+          add(n.def.file, cs.line, "shard-rng",
+              "RNG member '" + toks[k].text + "' of '" + n.def.qualifier +
+                  "' passed into '" + recv.text + "." + cs.callee +
+                  "(...)'; streams must stay with their owner — seed the "
+                  "callee its own stream instead",
+              {});
+          break;
+        }
+      }
+    }
+  }
+
+  // Waivers per file, then merge and sort.
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    GraphFile& fd = g.files[fi];
+    report.files_scanned.push_back(fd.path);
+    std::vector<Waiver> waivers =
+        collect_comment_waivers(fd.lexed.comments, "shardlint:allow", fd.path,
+                                shard_rule_names(), per_file[fi]);
+    apply_comment_waivers(waivers, per_file[fi]);
+    for (Finding& f : per_file[fi]) report.findings.push_back(std::move(f));
+    for (UnusedWaiver& u : collect_unused_waivers(waivers)) {
+      report.unused_waivers.push_back(std::move(u));
+      report.unused_waiver_files.push_back(fd.path);
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+
+  // Partition map: class names only (no paths, no lines) so the committed
+  // copy is stable under file moves and line churn.
+  std::ostringstream ps;
+  ps << "{\n  \"version\": 1,\n  \"domains\": {";
+  std::map<std::string, std::vector<std::string>> by_domain;
+  std::vector<std::string> owners;
+  std::vector<std::string> channels;
+  std::vector<std::string> shared_const;
+  std::vector<std::string> unannotated;
+  for (const auto& [name, c] : registry) {
+    switch (c.annotation) {
+      case ShardAnnotation::kLocal:
+        (c.domain == "owner" ? owners : by_domain[c.domain]).push_back(name);
+        break;
+      case ShardAnnotation::kChannel:
+        channels.push_back(name);
+        break;
+      case ShardAnnotation::kSharedConst:
+        shared_const.push_back(name);
+        break;
+      case ShardAnnotation::kNone: {
+        bool mutable_member = false;
+        for (const ShardMember& m : c.members) {
+          if (!m.is_const) mutable_member = true;
+        }
+        if (mutable_member) unannotated.push_back(name);
+        break;
+      }
+    }
+  }
+  const auto name_list = [](std::ostream& os,
+                            const std::vector<std::string>& names) {
+    os << "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << json_escape(names[i]) << "\"";
+    }
+    os << "]";
+  };
+  bool first = true;
+  for (const auto& [d, names] : by_domain) {
+    ps << (first ? "\n" : ",\n") << "    \"" << json_escape(d) << "\": ";
+    name_list(ps, names);
+    first = false;
+  }
+  ps << (first ? "" : "\n  ") << "},\n  \"owner\": ";
+  name_list(ps, owners);
+  ps << ",\n  \"channels\": ";
+  name_list(ps, channels);
+  ps << ",\n  \"shared_const\": ";
+  name_list(ps, shared_const);
+  ps << ",\n  \"unannotated\": ";
+  name_list(ps, unannotated);
+  ps << ",\n  \"reach\": {";
+  first = true;
+  for (const auto& [cls, doms] : touched) {
+    std::vector<std::string> ds;
+    for (const auto& [d, id] : doms) ds.push_back(d);
+    ps << (first ? "\n" : ",\n") << "    \"" << json_escape(cls) << "\": ";
+    name_list(ps, ds);
+    first = false;
+  }
+  ps << (first ? "" : "\n  ") << "}\n}\n";
+  report.partition_json = ps.str();
+  return report;
+}
+
+}  // namespace
+
+std::size_t ShardReport::unwaived() const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (!f.waived) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardReport::waived() const {
+  return findings.size() - unwaived();
+}
+
+const std::vector<std::string>& shard_rule_names() {
+  static const std::vector<std::string> names = {
+      "shard-escape", "shard-rng", "shard-seq", "unannotated-shared",
+      "bad-waiver"};
+  return names;
+}
+
+ShardReport analyze_shard(std::vector<SourceInput> inputs) {
+  return finish_report(build_program_graph(std::move(inputs)), {});
+}
+
+ShardReport scan_shard(const std::vector<std::string>& paths) {
+  std::vector<std::string> errors;
+  std::vector<SourceInput> inputs = discover_sources(paths, errors);
+  return finish_report(build_program_graph(std::move(inputs)),
+                       std::move(errors));
+}
+
+int render_shard_text(const ShardReport& report, std::ostream& os) {
+  write_report_text(os, "shardlint", report.errors, report.findings,
+                    report.unused_waivers, report.unused_waiver_files);
+  os << "shardlint: " << report.files_scanned.size() << " files, "
+     << report.classes << " classes (" << report.annotated << " annotated), "
+     << report.roots << " hot roots, " << report.domains << " domains, "
+     << report.unwaived() << " finding(s), " << report.waived()
+     << " waived\n";
+  return report.unwaived() == 0 && report.errors.empty() ? 0 : 1;
+}
+
+int render_shard_json(const ShardReport& report, std::ostream& os) {
+  os << "{\n  \"version\": 1,\n";
+  os << "  \"files_scanned\": " << report.files_scanned.size() << ",\n";
+  os << "  \"ownership\": {\"classes\": " << report.classes
+     << ", \"annotated\": " << report.annotated
+     << ", \"roots\": " << report.roots
+     << ", \"domains\": " << report.domains << "},\n";
+  write_findings_json(os, report.findings, /*with_chain=*/true);
+  os << ",\n";
+  write_unused_waivers_json(os, report.unused_waivers,
+                            report.unused_waiver_files);
+  os << ",\n";
+  write_errors_json(os, report.errors);
+  os << ",\n";
+  write_counts_json(os, report.unwaived(), report.waived(),
+                    report.unused_waivers.size());
+  os << "\n}\n";
+  return report.unwaived() == 0 && report.errors.empty() ? 0 : 1;
+}
+
+}  // namespace detlint

@@ -1,0 +1,85 @@
+// shardlint: whole-program shard-ownership analyzer.
+//
+// The third analyzer in the detlint family. Pass 1 reuses callgraph.h's
+// function/call harvest plus shardstate.h's class-member inventory; pass 2
+// walks the call graph from each INBAND_HOT root *per ownership domain*
+// (util/shard.h annotations assign classes to domains) and classifies every
+// piece of reachable mutable state:
+//
+//   shard-escape       state declared INBAND_SHARD_LOCAL(d1) aliased by a
+//                      raw pointer/reference member of a different local
+//                      domain, or reached from another domain's hot roots
+//   shard-rng          an RNG-engine member reachable from two or more
+//                      domains (stream sharing destroys per-shard replay),
+//                      or an RNG member passed into another object's method
+//   shard-seq          a sequence/counter member reachable from two or more
+//                      domains (allocation order would depend on cross-
+//                      shard interleaving)
+//   unannotated-shared mutable state with no INBAND_SHARD_* annotation
+//                      reached from two or more domains, and mutable static
+//                      data members (process-wide state) anywhere reachable
+//
+// Domain walk semantics: `owner`-annotated classes are domain-transparent
+// (instance-scoped engines — their state belongs to whoever owns them);
+// INBAND_SHARD_SHARED_CONST classes are trusted and skipped; reachability
+// never expands *out of* an INBAND_SHARD_CHANNEL class (the sanctioned
+// crossing hands work to the receiving domain, whose own roots cover it),
+// and channel/owner hot roots seed no walk of their own. Member and bare
+// unqualified call edges into a class declared INBAND_SHARD_LOCAL of a
+// *different* named domain are cut: lexical name-matched dispatch
+// over-approximates, so declared domain boundaries are trusted there,
+// while explicitly qualified `Cls::fn(` calls still propagate across them.
+//
+// Waivers: `// shardlint:allow(<rule>): <reason>` with the detlint
+// mandatory-justification mechanics (waivers.h).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint_io.h"
+#include "rules.h"
+
+namespace detlint {
+
+struct ShardReport {
+  std::vector<Finding> findings;           // across all files, sorted
+  std::vector<std::string> files_scanned;  // sorted display paths
+  std::vector<UnusedWaiver> unused_waivers;
+  std::vector<std::string> unused_waiver_files;  // parallel to unused_waivers
+  std::vector<std::string> errors;
+  // Ownership statistics, echoed into the JSON report.
+  std::size_t classes = 0;
+  std::size_t annotated = 0;
+  std::size_t roots = 0;
+  std::size_t domains = 0;  // named local domains, `owner` excluded
+  // The machine-readable state -> domain partition map (schema in
+  // README.md). Path-independent and deterministic: class names only,
+  // sorted, so the committed copy survives file moves.
+  std::string partition_json;
+
+  std::size_t unwaived() const;
+  std::size_t waived() const;
+};
+
+// All shardlint rule names, for CLI validation and --list-rules.
+const std::vector<std::string>& shard_rule_names();
+
+// Analyzes a set of files as one program (same input contract as hotlint:
+// sorted path order, quoted includes resolve against the set by suffix).
+ShardReport analyze_shard(std::vector<SourceInput> inputs);
+
+// Discovery (lint_io) + analyze_shard.
+ShardReport scan_shard(const std::vector<std::string>& paths);
+
+// Human-readable report with root->state call chains. Returns the process
+// exit code: 0 when no unwaived findings and no errors, 1 otherwise.
+int render_shard_text(const ShardReport& report, std::ostream& os);
+
+// Machine-readable JSON: detlint's schema plus per-finding "chain" arrays
+// and a top-level "ownership" object with the statistics above.
+int render_shard_json(const ShardReport& report, std::ostream& os);
+
+}  // namespace detlint

@@ -1,0 +1,92 @@
+// shardlint — whole-program shard-ownership linter.
+//
+//   shardlint [--json] [--partition=json] [--check-partition=FILE]
+//             [--list-rules] <file-or-dir>...
+//
+// --partition=json prints the state -> domain partition map instead of the
+// findings report (exit 0 unless inputs were unreadable, so the committed
+// map can be regenerated while annotations are still being iterated).
+// --check-partition=FILE renders the findings report, then additionally
+// requires FILE to match the freshly computed partition byte-for-byte —
+// the ctest gate runs this against the committed map.
+//
+// Exit codes: 0 = clean (waived findings allowed), 1 = unwaived findings,
+// partition mismatch or unreadable inputs, 2 = usage error. See
+// tools/detlint/README.md and DESIGN.md §9.2 for the ownership taxonomy and
+// the INBAND_SHARD_* annotation contract (src/util/shard.h).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "shardlint.h"
+
+namespace {
+constexpr char kUsage[] =
+    "usage: shardlint [--json] [--partition=json] [--check-partition=FILE] "
+    "[--list-rules] <file-or-dir>...\n";
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool partition = false;
+  std::string check_partition;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--partition=json") {
+      partition = true;
+    } else if (arg.rfind("--check-partition=", 0) == 0) {
+      check_partition = arg.substr(18);
+      if (check_partition.empty()) {
+        std::cerr << "shardlint: --check-partition needs a file\n";
+        return 2;
+      }
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : detlint::shard_rule_names()) {
+        std::cout << r << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "shardlint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const detlint::ShardReport report = detlint::scan_shard(paths);
+  if (partition) {
+    for (const std::string& e : report.errors) {
+      std::cerr << "shardlint: error: " << e << "\n";
+    }
+    std::cout << report.partition_json;
+    return report.errors.empty() ? 0 : 1;
+  }
+  int code = json ? detlint::render_shard_json(report, std::cout)
+                  : detlint::render_shard_text(report, std::cout);
+  if (!check_partition.empty()) {
+    std::ifstream in(check_partition, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (!in) {
+      std::cerr << "shardlint: cannot read partition file: "
+                << check_partition << "\n";
+      code = 1;
+    } else if (buf.str() != report.partition_json) {
+      std::cerr << "shardlint: partition map " << check_partition
+                << " is stale; regenerate with --partition=json\n";
+      code = 1;
+    }
+  }
+  return code;
+}

@@ -1,0 +1,289 @@
+#include "shardstate.h"
+
+#include <set>
+
+namespace detlint {
+namespace {
+
+bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == TokenKind::kPunct && t.text == p;
+}
+
+// Storage-class / cv / declarator keywords excluded from type_idents.
+const std::set<std::string> kMemberKeywords = {
+    "static", "const",    "constexpr", "constinit", "mutable",
+    "inline", "volatile", "thread_local",
+};
+
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
+                          std::string_view open, std::string_view close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (is_punct(toks[i], open)) {
+      ++depth;
+    } else if (is_punct(toks[i], close)) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t i) {
+  int depth = 0;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, "<")) {
+      ++depth;
+    } else if (is_punct(t, ">")) {
+      --depth;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+    } else if (is_punct(t, ";") || is_punct(t, "{")) {
+      return i;
+    }
+    ++i;
+    if (depth <= 0) return i;
+  }
+  return i;
+}
+
+class ShardStateScanner {
+ public:
+  ShardStateScanner(const LexResult& lexed, int file)
+      : toks_{lexed.tokens}, file_{file} {}
+
+  std::vector<ShardClass> run() {
+    scan();
+    return std::move(out_);
+  }
+
+ private:
+  // -1 in class_stack_ marks a namespace scope or an anonymous/ignored
+  // class; otherwise the index of the ShardClass collecting members.
+  bool in_named_class() const {
+    return !class_stack_.empty() && class_stack_.back() >= 0;
+  }
+
+  // Reads the INBAND_SHARD_* annotation, if any, out of the statement
+  // tokens pending before a class keyword.
+  void parse_annotation(ShardClass& cls) const {
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const Token& t = *stmt_[k];
+      if (t.kind != TokenKind::kIdent) continue;
+      if (t.text == "INBAND_SHARD_SHARED_CONST") {
+        cls.annotation = ShardAnnotation::kSharedConst;
+        return;
+      }
+      if (t.text == "INBAND_SHARD_CHANNEL") {
+        cls.annotation = ShardAnnotation::kChannel;
+        return;
+      }
+      if (t.text == "INBAND_SHARD_LOCAL" && k + 2 < stmt_.size() &&
+          is_punct(*stmt_[k + 1], "(") &&
+          stmt_[k + 2]->kind == TokenKind::kIdent) {
+        cls.annotation = ShardAnnotation::kLocal;
+        cls.domain = stmt_[k + 2]->text;
+        return;
+      }
+    }
+  }
+
+  // Classifies the class-scope statement pending at a ';' as a data member.
+  void flush_member() {
+    if (stmt_.empty() || !in_named_class()) {
+      stmt_.clear();
+      return;
+    }
+    ShardMember m;
+    m.file = file_;
+    std::size_t first_eq = stmt_.size();
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      if (is_punct(*stmt_[k], "=")) {
+        first_eq = k;
+        break;
+      }
+    }
+    bool rejected = false;
+    std::size_t idents = 0;
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const Token& t = *stmt_[k];
+      if (is_punct(t, "(") && k < first_eq) rejected = true;  // method decl
+      if (t.kind != TokenKind::kIdent) continue;
+      ++idents;
+      if (t.text == "operator") rejected = true;
+      if (t.text == "static") m.is_static = true;
+      if (t.text == "const" || t.text == "constexpr") m.is_const = true;
+      if (t.text == "mutable") m.is_const = false;
+    }
+    if (rejected || idents < 2) {
+      stmt_.clear();
+      return;
+    }
+    // Member name: last identifier before '=' / '[' (arrays) / ':'
+    // (bitfields); declarator punctuation before it marks ptr/ref.
+    const Token* name = nullptr;
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const Token& t = *stmt_[k];
+      if (is_punct(t, "=") || is_punct(t, "[") || is_punct(t, ":")) break;
+      if (t.kind == TokenKind::kIdent) name = &t;
+      if (is_punct(t, "*")) m.is_ptr = true;
+      if (is_punct(t, "&") || is_punct(t, "&&")) m.is_ref = true;
+    }
+    if (name == nullptr) {
+      stmt_.clear();
+      return;
+    }
+    m.name = name->text;
+    m.line = name->line;
+    for (std::size_t k = 0; k < stmt_.size(); ++k) {
+      const Token& t = *stmt_[k];
+      if (&t == name) break;
+      if (t.kind == TokenKind::kIdent && kMemberKeywords.count(t.text) == 0) {
+        m.type_idents.push_back(t.text);
+      }
+    }
+    out_[static_cast<std::size_t>(class_stack_.back())].members.push_back(
+        std::move(m));
+    stmt_.clear();
+  }
+
+  void scan() {
+    std::size_t i = 0;
+    while (i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") {
+          // '(' in the pending statement => a function body (skipped
+          // wholesale); otherwise a braced initializer, skipped with the
+          // statement kept for the member flush at the following ';'.
+          bool has_paren = false;
+          for (const Token* s : stmt_) {
+            if (is_punct(*s, "(")) has_paren = true;
+          }
+          if (has_paren) stmt_.clear();
+          i = skip_balanced(toks_, i, "{", "}");
+          continue;
+        }
+        if (t.text == "}") {
+          stmt_.clear();
+          if (!class_stack_.empty()) class_stack_.pop_back();
+          ++i;
+          continue;
+        }
+        if (t.text == ";") {
+          flush_member();
+          ++i;
+          continue;
+        }
+        stmt_.push_back(&t);
+        ++i;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdent) {
+        stmt_.push_back(&t);
+        ++i;
+        continue;
+      }
+      const std::string& w = t.text;
+      if (w == "namespace") {
+        stmt_.clear();
+        std::size_t j = i + 1;
+        while (j < toks_.size() && !is_punct(toks_[j], "{") &&
+               !is_punct(toks_[j], ";") && !is_punct(toks_[j], "=")) {
+          ++j;
+        }
+        if (j < toks_.size() && is_punct(toks_[j], "{")) {
+          class_stack_.push_back(-1);
+          i = j + 1;
+        } else {
+          i = j < toks_.size() ? j + 1 : j;
+        }
+        continue;
+      }
+      if (w == "class" || w == "struct" || w == "union") {
+        ShardClass cls;
+        cls.file = file_;
+        cls.line = t.line;
+        parse_annotation(cls);
+        stmt_.clear();
+        std::size_t j = i + 1;
+        while (j < toks_.size() && !is_punct(toks_[j], "{") &&
+               !is_punct(toks_[j], ";") && !is_punct(toks_[j], "(")) {
+          if (is_punct(toks_[j], "<")) {
+            j = skip_template_args(toks_, j);
+            continue;
+          }
+          if (cls.name.empty() && toks_[j].kind == TokenKind::kIdent &&
+              toks_[j].text != "final" && toks_[j].text != "alignas") {
+            cls.name = toks_[j].text;
+            cls.line = toks_[j].line;
+          }
+          ++j;
+        }
+        if (j < toks_.size() && is_punct(toks_[j], "{")) {
+          if (cls.name.empty()) {
+            class_stack_.push_back(-1);
+          } else {
+            class_stack_.push_back(static_cast<int>(out_.size()));
+            out_.push_back(std::move(cls));
+          }
+          i = j + 1;
+        } else {
+          // Forward declaration / elaborated type / macro shape: no scope.
+          i = j < toks_.size() ? j + 1 : j;
+        }
+        continue;
+      }
+      if (w == "enum") {
+        stmt_.clear();
+        std::size_t j = i + 1;
+        while (j < toks_.size() && !is_punct(toks_[j], "{") &&
+               !is_punct(toks_[j], ";")) {
+          ++j;
+        }
+        i = j < toks_.size() && is_punct(toks_[j], "{")
+                ? skip_balanced(toks_, j, "{", "}")
+                : (j < toks_.size() ? j + 1 : j);
+        continue;
+      }
+      if (w == "using" || w == "typedef" || w == "friend") {
+        stmt_.clear();
+        while (i < toks_.size() && !is_punct(toks_[i], ";")) ++i;
+        if (i < toks_.size()) ++i;
+        continue;
+      }
+      if (w == "template") {
+        stmt_.clear();
+        i = i + 1 < toks_.size() && is_punct(toks_[i + 1], "<")
+                ? skip_template_args(toks_, i + 1)
+                : i + 1;
+        continue;
+      }
+      if ((w == "public" || w == "private" || w == "protected") &&
+          i + 1 < toks_.size() && is_punct(toks_[i + 1], ":")) {
+        stmt_.clear();
+        i += 2;
+        continue;
+      }
+      stmt_.push_back(&t);
+      ++i;
+      continue;
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  int file_;
+  std::vector<int> class_stack_;
+  std::vector<const Token*> stmt_;
+  std::vector<ShardClass> out_;
+};
+
+}  // namespace
+
+std::vector<ShardClass> harvest_shard_classes(const LexResult& lexed,
+                                              int file) {
+  return ShardStateScanner(lexed, file).run();
+}
+
+}  // namespace detlint

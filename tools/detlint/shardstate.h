@@ -1,0 +1,59 @@
+// Shard-state harvest: class-level mutable-state inventory for shardlint.
+//
+// shardlint's pass 1b (callgraph.h is 1a). A lexical scope scanner walks the
+// token stream, recognizes class/struct/union definitions with an optional
+// INBAND_SHARD_* annotation (util/shard.h) immediately preceding the class
+// keyword, and inventories each class's data members: name, constness,
+// staticness, pointer/reference declarators, and the identifiers spelling
+// the member's type (for RNG-engine detection and pointee-class resolution).
+//
+// The member heuristics mirror the global-variable heuristics in
+// callgraph.cc: a class-scope statement ending in ';' is a data member
+// unless it contains a '(' before any '=' (method declarations, function
+// pointers) or spells `operator`. Function bodies — free or inline member —
+// are skipped wholesale, so function-local classes are invisible by design.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace detlint {
+
+enum class ShardAnnotation {
+  kNone,         // unannotated
+  kLocal,        // INBAND_SHARD_LOCAL(domain)
+  kSharedConst,  // INBAND_SHARD_SHARED_CONST
+  kChannel,      // INBAND_SHARD_CHANNEL
+};
+
+struct ShardMember {
+  std::string name;
+  int line = 0;
+  int file = -1;
+  bool is_static = false;
+  bool is_const = false;  // const/constexpr and not mutable
+  bool is_ptr = false;    // a '*' anywhere in the declaration
+  bool is_ref = false;    // a '&' anywhere in the declaration
+  // Every identifier in the declaration other than the member name and
+  // storage/cv keywords, in order: "std", "vector", "KvServer" for
+  // `std::vector<KvServer*> v_;`.
+  std::vector<std::string> type_idents;
+};
+
+struct ShardClass {
+  std::string name;
+  int line = 0;
+  int file = -1;
+  ShardAnnotation annotation = ShardAnnotation::kNone;
+  std::string domain;  // INBAND_SHARD_LOCAL argument; empty otherwise
+  std::vector<ShardMember> members;
+};
+
+// All named class/struct/union definitions in one file, in token order.
+// Anonymous aggregates are skipped; nested classes are separate entries.
+std::vector<ShardClass> harvest_shard_classes(const LexResult& lexed,
+                                              int file);
+
+}  // namespace detlint
