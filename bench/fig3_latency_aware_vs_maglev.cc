@@ -114,6 +114,18 @@ int main(int argc, char** argv) {
                m_after / 1e3);
   std::fprintf(stderr, "p95 GET  latency-aware: %.0fus -> %.0fus\n",
                i_before / 1e3, i_after / 1e3);
+  const auto dataplane = [](ClusterRig& rig, const char* name) {
+    const NetStats net = rig.net().stats();
+    std::fprintf(stderr,
+                 "dataplane %s: %llu pkts in %llu batches, pool high-water "
+                 "%llu of %llu slots\n",
+                 name, static_cast<unsigned long long>(net.packets_sent),
+                 static_cast<unsigned long long>(net.batches),
+                 static_cast<unsigned long long>(net.pool.high_water),
+                 static_cast<unsigned long long>(net.pool.slots));
+  };
+  dataplane(maglev, "maglev");
+  dataplane(inband, "latency-aware");
 
   auto* policy = inband.inband_policy();
   SimTime first_shift = kNoTime;

@@ -217,9 +217,12 @@ BENCHMARK(BM_InbandPolicy_OnPacket_ClientFloor);
 // --- Event-queue benchmarks: slab pool vs the legacy map-of-std::function
 // queue, identical op sequences. ---------------------------------------------
 
-// The dominant simulator event is a link delivery capturing a Packet by
-// value; this payload reproduces that size so the benchmarks measure
-// callback storage, not just heap bookkeeping.
+// This payload reproduces the pre-batch link delivery, which captured a
+// whole Packet by value (~136 bytes) — the worst case the legacy
+// map-of-std::function queue had to heap-allocate for, and the historical
+// workload the slab-vs-legacy comparison was built around. (Since the
+// PacketBatch redesign, live deliveries capture only a PacketSink pointer
+// plus a pooled PacketRef; perf_dataplane's eq_steady models that size.)
 struct DeliveryPayload {
   unsigned char packet_bytes[136];
   std::uint64_t* fired;

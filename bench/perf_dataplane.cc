@@ -85,13 +85,13 @@ SimTime fire_one(Q& q) {
   }
 }
 
-// The simulator's dominant event is a link delivery whose callback carries a
-// whole Packet by value (~140 bytes of capture). The steady-state bench
-// models that payload so callback *storage* is measured, not just heap
-// bookkeeping — a map-of-std::function queue pays a heap block per event for
-// captures this size, an inline-storage queue pays a copy.
+// The simulator's dominant event is a link delivery. Since the PacketBatch
+// redesign its callback carries a PacketSink pointer plus a pooled
+// PacketRef — three words, not the ~140-byte by-value Packet it used to.
+// The steady-state bench models the new capture size so the measured event
+// cost matches what the rig actually schedules.
 struct FakeDelivery {
-  unsigned char packet_bytes[136];
+  unsigned char handle_bytes[24];  // sink* + PacketRef{state*, pkt*}
   std::uint64_t* fired;
   void operator()() const { ++*fired; }
 };
@@ -107,13 +107,13 @@ EqResult eq_steady(std::uint64_t iterations, std::size_t pending) {
   FakeDelivery ev_payload{};
   ev_payload.fired = &fired;
   for (std::size_t i = 0; i < pending; ++i) {
-    ev_payload.packet_bytes[0] = static_cast<unsigned char>(i);
+    ev_payload.handle_bytes[0] = static_cast<unsigned char>(i);
     q.push(static_cast<SimTime>(rng.next() % 100000), ev_payload);
   }
   const auto start = Clock::now();
   for (std::uint64_t i = 0; i < iterations; ++i) {
     t = fire_one(q);
-    ev_payload.packet_bytes[0] = static_cast<unsigned char>(i);
+    ev_payload.handle_bytes[0] = static_cast<unsigned char>(i);
     q.push(t + 1 + static_cast<SimTime>(rng.next() % 1000), ev_payload);
   }
   const double secs = wall_seconds(start, Clock::now());
@@ -174,6 +174,11 @@ struct RigResult {
   std::uint64_t heap_allocs = 0;
   double heap_allocs_per_packet = 0;
   double heap_bytes_per_packet = 0;
+  std::uint64_t batches = 0;
+  double packets_per_batch = 0;
+  std::uint64_t max_batch = 0;
+  std::uint64_t pool_slots = 0;
+  std::uint64_t pool_high_water = 0;
   std::uint64_t digest = 0;
   bool digest_match = false;
   bool alloc_counting = false;
@@ -206,7 +211,16 @@ RigResult run_rig(const ClusterRigConfig& cfg) {
   rig.run();
   const double secs = wall_seconds(start, Clock::now());
   const auto mem = allocs::delta(before, allocs::snapshot());
-  r.packets = rig.net().packets_sent();
+  const NetStats net = rig.net().stats();
+  r.packets = net.packets_sent;
+  r.batches = net.batches;
+  if (net.batches > 0) {
+    r.packets_per_batch = static_cast<double>(net.batch_packets) /
+                          static_cast<double>(net.batches);
+  }
+  r.max_batch = net.max_batch;
+  r.pool_slots = net.pool.slots;
+  r.pool_high_water = net.pool.high_water;
   r.events = rig.sim().executed_events() - ev0;
   r.wall_ms = secs * 1e3;
   r.packets_per_sec = static_cast<double>(r.packets) / secs;
@@ -237,6 +251,11 @@ void write_metrics(JsonWriter& w, const EqResult& steady,
   w.kv("rig_heap_allocs", rig.heap_allocs);
   w.kv("rig_heap_allocs_per_packet", rig.heap_allocs_per_packet);
   w.kv("rig_heap_bytes_per_packet", rig.heap_bytes_per_packet);
+  w.kv("rig_batches", rig.batches);
+  w.kv("rig_packets_per_batch", rig.packets_per_batch);
+  w.kv("rig_max_batch", rig.max_batch);
+  w.kv("rig_pool_slots", rig.pool_slots);
+  w.kv("rig_pool_high_water", rig.pool_high_water);
   char hex[32];
   std::snprintf(hex, sizeof hex, "%016llx",
                 static_cast<unsigned long long>(rig.digest));
@@ -255,12 +274,28 @@ const char* const kRequiredMetricKeys[] = {
     "rig_digest",                 "rig_digest_match",
 };
 
-bool validate_metrics_object(const JsonValue& metrics, std::string* error) {
+// Batch-shape keys: mandatory in "after", optional in a spliced "before" —
+// reports written before the PacketBatch boundary predate these metrics.
+const char* const kBatchMetricKeys[] = {
+    "rig_batches", "rig_packets_per_batch",
+    "rig_pool_slots", "rig_pool_high_water",
+};
+
+bool validate_metrics_object(const JsonValue& metrics, bool require_batch,
+                             std::string* error) {
   for (const char* key : kRequiredMetricKeys) {
     const JsonValue* v = metrics.find(key);
     if (v == nullptr) {
       *error = std::string{"missing metrics key: "} + key;
       return false;
+    }
+  }
+  if (require_batch) {
+    for (const char* key : kBatchMetricKeys) {
+      if (metrics.find(key) == nullptr) {
+        *error = std::string{"missing metrics key: "} + key;
+        return false;
+      }
     }
   }
   const JsonValue* match = metrics.find("rig_digest_match");
@@ -292,10 +327,12 @@ bool validate_report(const std::string& path, std::string* error) {
     *error = "missing metrics.after object";
     return false;
   }
-  if (!validate_metrics_object(*after, error)) return false;
+  if (!validate_metrics_object(*after, /*require_batch=*/true, error)) {
+    return false;
+  }
   const JsonValue* before = metrics->find("before");
   if (before != nullptr && before->is_object() &&
-      !validate_metrics_object(*before, error)) {
+      !validate_metrics_object(*before, /*require_batch=*/false, error)) {
     return false;
   }
   return true;

@@ -62,8 +62,7 @@ void KvServer::on_request(TcpConnection& conn,
   if (busy_workers_ < config_.workers) {
     start_processing(std::move(work));
   } else {
-    // hotlint:allow(hot-growth): overload queue, one deque-amortized record
-    queue_.push_back(std::move(work));
+    queue_.push(std::move(work));
     max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
   }
 }
@@ -147,12 +146,12 @@ void KvServer::finish(Pending work) {
 
   if (!queue_.empty() && busy_workers_ < config_.workers) {
     Pending next = std::move(queue_.front());
-    queue_.pop_front();
+    queue_.pop();
     // Dead connections may sit in the queue; drop their work.
     while (open_conns_.find(next.conn) == open_conns_.end()) {
       if (queue_.empty()) return;
       next = std::move(queue_.front());
-      queue_.pop_front();
+      queue_.pop();
     }
     start_processing(std::move(next));
   }

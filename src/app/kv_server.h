@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -23,6 +22,7 @@
 #include "app/variability.h"
 #include "tcp/stack.h"
 #include "util/hotpath.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/shard.h"
 #include "util/shared_pool.h"
@@ -89,7 +89,7 @@ class KvServer {
   std::vector<std::unique_ptr<VariabilityInjector>> injectors_;
   std::unordered_map<std::uint64_t, std::uint32_t> store_;  // key -> size
   std::unordered_set<TcpConnection*> open_conns_;
-  std::deque<Pending> queue_;
+  RingBuffer<Pending> queue_;  // overload FIFO, slots recycled in place
   int busy_workers_ = 0;
 
   std::uint64_t requests_served_ = 0;

@@ -13,6 +13,12 @@
 // it was rehomed onto the WeightController interface: the oracle the
 // refactored controller must match decision-for-decision, bit for bit.
 //
+// LegacyScalarLink / LegacyScalarSendPath are the per-packet send path as it
+// stood before the PacketBatch redesign (PR 9): one stamp, one verdict, one
+// link clock-in per Network::send() call. The batch path must reproduce
+// their delivery times and order bit-for-bit; the differential suite drives
+// identical traffic through both and compares (pkt_id, deliver_at) streams.
+//
 // Not for production use.
 #pragma once
 
@@ -28,6 +34,8 @@
 #include "core/flow_state_table.h"
 #include "core/server_latency_tracker.h"
 #include "net/flow.h"
+#include "net/link.h"     // LinkParams
+#include "net/network.h"  // SendVerdict
 #include "sim/event_queue.h"  // EventId / kInvalidEventId
 #include "telemetry/ewma.h"
 #include "util/assert.h"
@@ -203,6 +211,160 @@ class LegacyFlowStateTable {
   SimTime last_sweep_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t expirations_ = 0;
+};
+
+// The directed-link clock-in logic exactly as it stood before the batch
+// redesign, decoupled from the Simulator: the caller supplies `now`. One
+// call = one packet, same virtual-queue admission, serialization,
+// propagation, jitter draw, and FIFO monotonicity as the old
+// Link::transmit(Packet, PacketSink&).
+INBAND_SHARD_LOCAL(shard)
+class LegacyScalarLink {
+ public:
+  explicit LegacyScalarLink(LinkParams params)
+      : params_{params}, jitter_rng_{params.jitter_seed} {
+    INBAND_ASSERT(params_.bandwidth_bps > 0);
+  }
+
+  void set_extra_delay(SimTime d) { extra_delay_ = d; }
+
+  SimTime serialization_delay(std::uint64_t bytes) const {
+    const auto num = static_cast<__uint128_t>(bytes) * 8u * 1'000'000'000u;
+    const auto d = static_cast<SimTime>(
+        (num + params_.bandwidth_bps - 1) / params_.bandwidth_bps);
+    return std::max<SimTime>(d, 1);
+  }
+
+  // Clocks one packet of `wire_bytes` in at time `now`. Returns the delivery
+  // time, or kNoTime on a virtual-queue drop.
+  SimTime transmit_at(SimTime now, std::uint64_t wire_bytes) {
+    if (params_.queue_bytes != 0) {
+      const SimTime queue_limit = serialization_delay(params_.queue_bytes);
+      const SimTime backlog = busy_until_ > now ? busy_until_ - now : 0;
+      if (backlog > queue_limit) {
+        ++drops_;
+        return kNoTime;
+      }
+    }
+    const SimTime start = std::max(now, busy_until_);
+    const SimTime done = start + serialization_delay(wire_bytes);
+    busy_until_ = done;
+    ++tx_packets_;
+    SimTime deliver_at = done + params_.prop_delay + extra_delay_;
+    if (params_.jitter_median > 0 && params_.jitter_sigma > 0.0) {
+      deliver_at += static_cast<SimTime>(jitter_rng_.lognormal_median(
+          static_cast<double>(params_.jitter_median), params_.jitter_sigma));
+    }
+    deliver_at = std::max(deliver_at, last_delivery_ + 1);
+    last_delivery_ = deliver_at;
+    return deliver_at;
+  }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  LinkParams params_;
+  Rng jitter_rng_;
+  SimTime extra_delay_ = 0;
+  SimTime busy_until_ = 0;
+  SimTime last_delivery_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+// The old Network::send() applied to one directed link: stamp a fresh
+// pkt_id, apply the scalar interceptor verdict (drop / duplicate_hold /
+// hold), clock the survivors into the link one at a time. Held packets sit
+// in an internal (release-time, seq) min-heap that mirrors the simulator's
+// event ordering; they clock in when the replayed clock passes their release
+// time. The recorded (pkt_id, deliver_at) stream is in clock-in order, which
+// on a FIFO link equals delivery order — the stream the batch path must
+// reproduce exactly.
+INBAND_SHARD_LOCAL(shard)
+class LegacyScalarSendPath {
+ public:
+  struct Delivery {
+    std::uint64_t pkt_id;
+    SimTime deliver_at;
+  };
+
+  explicit LegacyScalarSendPath(LinkParams params) : link_{params} {}
+
+  LegacyScalarLink& link() { return link_; }
+
+  // Replays one Network::send() call at time `now`. Returns what
+  // dispatch() returned pre-batch: false only on a link queue drop of the
+  // original packet.
+  bool send(SimTime now, std::uint64_t wire_bytes,
+            const SendVerdict& verdict = {}) {
+    release_held(now);
+    const std::uint64_t id = next_pkt_id_++;
+    ++packets_sent_;
+    if (verdict.drop) return true;  // lost in the network, send "succeeded"
+    if (verdict.duplicate_hold != kNoTime) {
+      held_.push({now + verdict.duplicate_hold, next_hold_seq_++, id,
+                  wire_bytes});
+    }
+    if (verdict.hold > 0) {
+      held_.push({now + verdict.hold, next_hold_seq_++, id, wire_bytes});
+      return true;
+    }
+    const bool ok = clock_in(now, id, wire_bytes);
+    if (!ok) ++packets_dropped_;
+    return ok;
+  }
+
+  // Advances the replayed clock to `now`, clocking in every held packet
+  // whose release time has passed. Call with the end-of-run time to flush.
+  void release_held(SimTime now) {
+    while (!held_.empty() && held_.top().at <= now) {
+      const Held h = held_.top();
+      held_.pop();
+      if (!clock_in(h.at, h.pkt_id, h.wire_bytes)) ++packets_dropped_;
+    }
+  }
+
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+
+  std::uint64_t delivery_digest() const {
+    StateDigest d;
+    d.mix(deliveries_.size());
+    for (const auto& del : deliveries_) {
+      d.mix(del.pkt_id);
+      d.mix_i64(del.deliver_at);
+    }
+    return d.value();
+  }
+
+ private:
+  struct Held {
+    SimTime at;
+    std::uint64_t seq;  // schedule order breaks release-time ties
+    std::uint64_t pkt_id;
+    std::uint64_t wire_bytes;
+    bool operator>(const Held& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  bool clock_in(SimTime now, std::uint64_t pkt_id, std::uint64_t wire_bytes) {
+    const SimTime deliver_at = link_.transmit_at(now, wire_bytes);
+    if (deliver_at == kNoTime) return false;
+    // hotlint:allow(hot-growth): reference model, differential tests only
+    deliveries_.push_back({pkt_id, deliver_at});
+    return true;
+  }
+
+  LegacyScalarLink link_;
+  std::priority_queue<Held, std::vector<Held>, std::greater<>> held_;
+  std::vector<Delivery> deliveries_;
+  std::uint64_t next_pkt_id_ = 1;
+  std::uint64_t next_hold_seq_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_dropped_ = 0;
 };
 
 // The α-shift controller exactly as it stood before the WeightController

@@ -24,35 +24,47 @@ LoadBalancer::LoadBalancer(Simulator& sim, Network& net, Ipv4 vip,
   new_flows_per_backend_.assign(pool_.size(), 0);
 }
 
+void LoadBalancer::handle_batch(PacketBatch&& batch) {
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    forward(batch.take(i));
+  }
+}
+
 void LoadBalancer::handle_packet(Packet pkt) {
+  PacketRef ref = network().pool().acquire();
+  *ref = std::move(pkt);
+  forward(std::move(ref));
+}
+
+void LoadBalancer::forward(PacketRef pkt) {
   const SimTime now = sim().now();
   ++counters_.get("lb.packets_in");
   conntrack_.sweep(now);
 
-  BackendId backend = conntrack_.lookup(pkt.flow, now);
+  BackendId backend = conntrack_.lookup(pkt->flow, now);
   bool new_flow = false;
   if (backend == kNoBackend) {
-    backend = policy_->pick(pkt.flow, now);
+    backend = policy_->pick(pkt->flow, now);
     if (backend == kNoBackend || backend >= pool_.size() ||
         !pool_[backend].healthy) {
       ++counters_.get("lb.drops_no_backend");
       return;
     }
     // hotlint:allow(hot-growth): ConnTracker::insert, not a container op
-    conntrack_.insert(pkt.flow, backend, now);
+    conntrack_.insert(pkt->flow, backend, now);
     new_flow = true;
     ++new_flows_per_backend_[backend];
     ++counters_.get("lb.new_flows");
   }
 
-  if (pkt.has(tcpflag::kFin) || pkt.has(tcpflag::kRst)) {
-    if (conntrack_.mark_closing(pkt.flow, now)) {
-      policy_->on_flow_closed(pkt.flow, backend, now);
+  if (pkt->has(tcpflag::kFin) || pkt->has(tcpflag::kRst)) {
+    if (conntrack_.mark_closing(pkt->flow, now)) {
+      policy_->on_flow_closed(pkt->flow, backend, now);
       ++counters_.get("lb.flows_closed");
     }
   }
 
-  policy_->on_packet(pkt, backend, now, new_flow);
+  policy_->on_packet(*pkt, backend, now, new_flow);
 
   ++forwarded_per_backend_[backend];
   ++counters_.get("lb.packets_forwarded");

@@ -32,7 +32,10 @@ class LoadBalancer : public Host {
                BackendPool pool, std::unique_ptr<RoutingPolicy> policy,
                ConntrackConfig conntrack_config = {});
 
-  INBAND_HOT void handle_packet(Packet pkt) override;
+  // Native batch path: every element is conntracked/policied/forwarded out
+  // of its pooled buffer — the LB hop moves handles, never packet bytes.
+  INBAND_HOT void handle_batch(PacketBatch&& batch) override;
+  void handle_packet(Packet pkt) override;
 
   // Control-plane pool updates (health checker, operator). The policy is
   // re-notified so *new* flows avoid an unhealthy backend; tracked
@@ -58,6 +61,9 @@ class LoadBalancer : public Host {
   void digest_state(StateDigest& digest) const;
 
  private:
+  // Per-packet dataplane: conntrack, policy pick, forward (or drop).
+  INBAND_HOT void forward(PacketRef pkt);
+
   BackendPool pool_;
   std::unique_ptr<RoutingPolicy> policy_;
   ConnTracker conntrack_;

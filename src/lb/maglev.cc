@@ -116,13 +116,15 @@ std::vector<double> MaglevTable::shares() const {
 
 std::size_t MaglevTable::shift_slots(BackendId from, double fraction) {
   INBAND_ASSERT(fraction >= 0.0 && fraction <= 1.0);
-  // Receivers: every other backend currently in the table.
-  std::vector<BackendId> receivers;
+  // Receivers: every other backend currently in the table. The scratch
+  // vector is a member so repeated shifts reuse its capacity.
+  std::vector<BackendId>& receivers = shift_receivers_;
+  receivers.clear();
   for (BackendId id : table_) {
     if (id == kNoBackend || id == from) continue;
     if (std::find(receivers.begin(), receivers.end(), id) ==
         receivers.end()) {
-      // hotlint:allow(hot-growth): slot shift runs at control-plane rate
+      // hotlint:allow(hot-growth): capacity retained across shifts, warms once
       receivers.push_back(id);
     }
   }

@@ -78,6 +78,9 @@ class MaglevTable {
   std::uint64_t seed_;
   std::vector<BackendId> table_;
   BackendId max_backend_id_ = 0;
+  // Receiver scratch for shift_slots(): reused across calls so the periodic
+  // α-shift control loop stays off the allocator once warmed.
+  std::vector<BackendId> shift_receivers_;
 };
 
 }  // namespace inband

@@ -1,10 +1,27 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.h"
 
 namespace inband {
+
+void PacketSink::handle_batch(PacketBatch&& batch) {
+  // Compatibility shim: unbatch into the scalar entry point. Each packet is
+  // moved out of its pooled slot (one copy — the price of not migrating).
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    PacketRef ref = batch.take(i);
+    Packet pkt = std::move(*ref);
+    ref.reset();
+    handle_packet(std::move(pkt));
+  }
+}
+
+void PacketSink::handle_packet(Packet /*pkt*/) {
+  INBAND_ASSERT(false,
+                "PacketSink overrides neither handle_batch nor handle_packet");
+}
 
 Link::Link(Simulator& sim, LinkParams params)
     : sim_{sim}, params_{params}, jitter_rng_{params.jitter_seed} {
@@ -31,20 +48,20 @@ void Link::set_extra_delay(SimTime d) {
   extra_delay_ = d;
 }
 
-bool Link::transmit(Packet pkt, PacketSink& dst) {
+SimTime Link::admit(std::uint64_t wire_bytes) {
   const SimTime now = sim_.now();
   if (params_.queue_bytes != 0) {
     const SimTime queue_limit = serialization_delay(params_.queue_bytes);
     if (backlog(now) > queue_limit) {
       ++drops_;
-      return false;
+      return kNoTime;
     }
   }
   const SimTime start = std::max(now, busy_until_);
-  const SimTime done = start + serialization_delay(pkt.wire_size());
+  const SimTime done = start + serialization_delay(wire_bytes);
   busy_until_ = done;
   ++tx_packets_;
-  tx_bytes_ += pkt.wire_size();
+  tx_bytes_ += wire_bytes;
   SimTime deliver_at = done + params_.prop_delay + extra_delay_;
   if (params_.jitter_median > 0 && params_.jitter_sigma > 0.0) {
     deliver_at += static_cast<SimTime>(jitter_rng_.lognormal_median(
@@ -53,12 +70,37 @@ bool Link::transmit(Packet pkt, PacketSink& dst) {
   // FIFO: jitter may not reorder packets on the wire.
   deliver_at = std::max(deliver_at, last_delivery_ + 1);
   last_delivery_ = deliver_at;
+  return deliver_at;
+}
+
+bool Link::transmit(PacketRef pkt, PacketSink& dst) {
+  const SimTime deliver_at = admit(pkt->wire_size());
+  if (deliver_at == kNoTime) return false;  // ref dies here: slot recycles
+  struct Deliver {
+    PacketSink* dst;
+    PacketRef p;
+    void operator()() {
+      PacketBatch batch;
+      batch.push(std::move(p));
+      dst->handle_batch(std::move(batch));
+    }
+  };
+  Deliver deliver{&dst, std::move(pkt)};
+  // The per-packet event must live inline in the event pool; delivery state
+  // that outgrows the callback's small buffer would put an allocation back
+  // on every simulated hop. The pooled handle is two words — far under the
+  // limit the by-value Packet used to push against.
+  static_assert(EventCallback::fits_inline<Deliver>());
+  sim_.schedule_at(deliver_at, std::move(deliver));
+  return true;
+}
+
+bool Link::transmit(Packet pkt, PacketSink& dst) {
+  const SimTime deliver_at = admit(pkt.wire_size());
+  if (deliver_at == kNoTime) return false;
   auto deliver = [&dst, p = std::move(pkt)]() mutable {
     dst.handle_packet(std::move(p));
   };
-  // The per-packet event must live inline in the event pool; a Packet that
-  // outgrows the callback's small buffer would put an allocation back on
-  // every simulated hop.
   static_assert(EventCallback::fits_inline<decltype(deliver)>());
   sim_.schedule_at(deliver_at, std::move(deliver));
   return true;

@@ -5,6 +5,14 @@
 
 namespace inband {
 
+void SendInterceptor::on_send_batch(const PacketBatch& batch, Ipv4 from,
+                                    Ipv4 to, BatchVerdict& out) {
+  // Default shim: element-wise scalar verdicts, strictly in index order.
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    out.v[i] = on_send(*batch[i], from, to);
+  }
+}
+
 Host::Host(Simulator& sim, Network& net, Ipv4 addr, std::string name)
     : sim_{sim}, net_{net}, addr_{addr}, name_{std::move(name)} {
   net_.attach(*this);
@@ -36,45 +44,101 @@ Link& Network::link(Ipv4 from, Ipv4 to) {
   return *it->second;
 }
 
-bool Network::send(Ipv4 from, Ipv4 to, Packet pkt) {
-  const auto lit = links_.find(key(from, to));
-  INBAND_ASSERT(lit != links_.end(), "sending over a missing link");
-  const auto hit = hosts_.find(to);
-  INBAND_ASSERT(hit != hosts_.end(), "no host attached at destination");
-
-  pkt.pkt_id = next_pkt_id_++;
-  pkt.sent_at = sim_.now();
-  if (send_hook_) send_hook_(pkt, from, to);
-
-  ++packets_sent_;
-  if (interceptor_ != nullptr) {
-    const SendVerdict verdict = interceptor_->on_send(pkt, from, to);
-    if (verdict.drop) {
-      // Lost in the network: the sender saw a successful send and recovery
-      // is the transport's problem, so this is `true`, unlike a queue drop.
-      return true;
-    }
-    if (verdict.duplicate_hold != kNoTime) {
-      transmit_held(*lit->second, *hit->second, pkt, verdict.duplicate_hold);
-    }
-    if (verdict.hold > 0) {
-      transmit_held(*lit->second, *hit->second, std::move(pkt), verdict.hold);
-      return true;
-    }
+bool Network::dispatch(Link& link, Host& dst, PacketRef pkt,
+                       const SendVerdict& verdict) {
+  if (verdict.drop) {
+    // Lost in the network: the sender saw a successful send and recovery
+    // is the transport's problem, so this is `true`, unlike a queue drop.
+    // The ref dies here and the slot recycles.
+    return true;
   }
-  if (!lit->second->transmit(std::move(pkt), *hit->second)) {
+  if (verdict.duplicate_hold != kNoTime) {
+    PacketRef dup = pool_.acquire();
+    *dup = *pkt;  // pooled clone — the duplicate no longer heap-copies
+    transmit_held(link, dst, std::move(dup), verdict.duplicate_hold);
+  }
+  if (verdict.hold > 0) {
+    transmit_held(link, dst, std::move(pkt), verdict.hold);
+    return true;
+  }
+  if (!link.transmit(std::move(pkt), dst)) {
     ++packets_dropped_;
     return false;
   }
   return true;
 }
 
-void Network::transmit_held(Link& link, Host& dst, Packet pkt, SimTime hold) {
+std::uint32_t Network::send_batch(Ipv4 from, Ipv4 to, PacketBatch& batch) {
+  if (batch.empty()) return 0;
+  const auto lit = links_.find(key(from, to));
+  INBAND_ASSERT(lit != links_.end(), "sending over a missing link");
+  const auto hit = hosts_.find(to);
+  INBAND_ASSERT(hit != hosts_.end(), "no host attached at destination");
+
+  const SimTime now = sim_.now();
+  const std::uint32_t n = batch.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Packet& p = *batch[i];
+    p.pkt_id = next_pkt_id_++;
+    p.sent_at = now;
+    if (observer_ != nullptr) observer_->on_packet(p, from, to);
+  }
+  packets_sent_ += n;
+  ++batches_;
+  batch_packets_ += n;
+  if (n > max_batch_) max_batch_ = n;
+
+  BatchVerdict verdicts;
+  if (interceptor_ != nullptr) {
+    interceptor_->on_send_batch(batch, from, to, verdicts);
+  }
+  std::uint32_t accepted = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (dispatch(*lit->second, *hit->second, batch.take(i), verdicts.v[i])) {
+      ++accepted;
+    }
+  }
+  batch.clear();
+  return accepted;
+}
+
+bool Network::send(Ipv4 from, Ipv4 to, PacketRef pkt) {
+  const auto lit = links_.find(key(from, to));
+  INBAND_ASSERT(lit != links_.end(), "sending over a missing link");
+  const auto hit = hosts_.find(to);
+  INBAND_ASSERT(hit != hosts_.end(), "no host attached at destination");
+
+  Packet& p = *pkt;
+  p.pkt_id = next_pkt_id_++;
+  p.sent_at = sim_.now();
+  if (observer_ != nullptr) observer_->on_packet(p, from, to);
+
+  ++packets_sent_;
+  SendVerdict verdict;
+  if (interceptor_ != nullptr) verdict = interceptor_->on_send(p, from, to);
+  return dispatch(*lit->second, *hit->second, std::move(pkt), verdict);
+}
+
+bool Network::send(Ipv4 from, Ipv4 to, Packet pkt) {
+  PacketRef ref = pool_.acquire();
+  *ref = std::move(pkt);
+  return send(from, to, std::move(ref));
+}
+
+void Network::transmit_held(Link& link, Host& dst, PacketRef pkt,
+                            SimTime hold) {
   INBAND_ASSERT(hold >= 0);
-  auto release = [this, &link, &dst, p = std::move(pkt)]() mutable {
-    if (!link.transmit(std::move(p), dst)) ++packets_dropped_;
+  struct Release {
+    Network* net;
+    Link* link;
+    Host* dst;
+    PacketRef p;
+    void operator()() {
+      if (!link->transmit(std::move(p), *dst)) ++net->packets_dropped_;
+    }
   };
-  static_assert(EventCallback::fits_inline<decltype(release)>());
+  Release release{this, &link, &dst, std::move(pkt)};
+  static_assert(EventCallback::fits_inline<Release>());
   sim_.schedule_after(hold, std::move(release));
 }
 

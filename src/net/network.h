@@ -8,17 +8,24 @@
 // return), and how the server's response travels straight back to the client
 // without ever crossing the LB.
 //
+// The data plane is batch-oriented: producers fill a PacketBatch of pooled
+// buffers (Network owns the PacketPool) and hand the whole batch to
+// send_batch(), which stamps, observes, intercepts, and clocks every element
+// with one virtual dispatch per layer instead of one per packet — BESS's
+// ProcessBatch module model applied to the sim/net boundary. The scalar
+// send() forms remain for control-plane and legacy callers.
+//
 // Topology is fixed after setup; sending over a missing link is a programming
 // error and asserts.
 #pragma once
 
-#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "util/hotpath.h"
 #include "util/shard.h"
@@ -40,13 +47,47 @@ struct SendVerdict {
   SimTime duplicate_hold = kNoTime;
 };
 
-// In-band interposition point for fault injection: consulted once per
-// Network::send() after pkt_id/sent_at stamping and the trace hook, so every
-// observer sees the packet exactly once regardless of its fate.
+// Element-wise verdicts for one batch; slot i decides batch[i]'s fate.
+struct BatchVerdict {
+  SendVerdict v[PacketBatch::kCapacity];
+};
+
+// In-band interposition point for fault injection: consulted once per send
+// after pkt_id/sent_at stamping and the observer, so every layer sees the
+// packet exactly once regardless of its fate.
+//
+// Batch sends consult on_send_batch() — one virtual call per batch. The
+// default unrolls to on_send() element-wise; overriders must decide elements
+// strictly in index order, because decision order is RNG-draw order and
+// therefore part of the reproducibility contract.
 class SendInterceptor {
  public:
   virtual ~SendInterceptor() = default;
   virtual SendVerdict on_send(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
+  virtual void on_send_batch(const PacketBatch& batch, Ipv4 from, Ipv4 to,
+                             BatchVerdict& out);
+};
+
+// Passive observation point: sees every packet handed to the fabric (after
+// stamping, before interception), in send order. The trace recorder is the
+// canonical implementation. Symmetric with SendInterceptor — an interface,
+// not a std::function, so installing one costs no type-erased storage and
+// the hot path stays allocation-free.
+class PacketObserver {
+ public:
+  virtual ~PacketObserver() = default;
+  virtual void on_packet(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
+};
+
+// One-stop counters for the fabric: send/drop totals, batch shape, and the
+// packet pool's occupancy statistics.
+struct NetStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;  // queue (admission) drops
+  std::uint64_t batches = 0;          // send_batch() calls
+  std::uint64_t batch_packets = 0;    // packets that arrived via send_batch()
+  std::uint64_t max_batch = 0;        // largest batch seen
+  PacketPool::Stats pool;
 };
 
 INBAND_SHARD_CHANNEL
@@ -57,6 +98,10 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   Simulator& sim() { return sim_; }
+
+  // The fabric's packet-buffer pool. Producers acquire slots here, fill them
+  // in place, and the slots recycle when the last PacketRef dies.
+  PacketPool& pool() { return pool_; }
 
   // Registers the host under its address (must be unique).
   void attach(Host& host);
@@ -74,14 +119,21 @@ class Network {
   Link& link(Ipv4 from, Ipv4 to);
   bool has_link(Ipv4 from, Ipv4 to) const;
 
-  // Stamps pkt_id / sent_at and transmits. Returns false on queue drop.
-  INBAND_HOT bool send(Ipv4 from, Ipv4 to, Packet pkt);
+  // Stamps pkt_id / sent_at on every element, runs the observer and the
+  // interceptor (one on_send_batch call), and clocks the survivors onto the
+  // (from, to) link in index order. Consumes the batch (empty on return).
+  // Returns the number of packets not dropped at the queue.
+  INBAND_HOT std::uint32_t send_batch(Ipv4 from, Ipv4 to, PacketBatch& batch);
 
-  // Observation hook invoked for every packet handed to a link (after
-  // stamping, before delivery). Used by the trace recorder.
-  using SendHook =
-      std::function<void(const Packet&, Ipv4 from, Ipv4 to)>;
-  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
+  // Scalar forms: stamp and transmit one packet. Return false on queue drop.
+  // The by-value overload copies into a pooled slot first.
+  INBAND_HOT bool send(Ipv4 from, Ipv4 to, PacketRef pkt);
+  bool send(Ipv4 from, Ipv4 to, Packet pkt);
+
+  // Installs (or clears, with nullptr) the passive observer. Borrowed: it
+  // must outlive the network or be cleared first.
+  void set_observer(PacketObserver* observer) { observer_ = observer; }
+  PacketObserver* observer() const { return observer_; }
 
   // Installs (or clears, with nullptr) the fault-injection interceptor. The
   // interceptor is borrowed and must outlive the network or be cleared first.
@@ -89,31 +141,49 @@ class Network {
     interceptor_ = interceptor;
   }
 
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  NetStats stats() const {
+    NetStats s;
+    s.packets_sent = packets_sent_;
+    s.packets_dropped = packets_dropped_;
+    s.batches = batches_;
+    s.batch_packets = batch_packets_;
+    s.max_batch = max_batch_;
+    s.pool = pool_.stats();
+    return s;
+  }
 
  private:
   static std::uint64_t key(Ipv4 from, Ipv4 to) {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  // Applies one verdict to a stamped packet: drop, clone-and-hold, hold, or
+  // clock onto the link now. Returns false only on a queue drop.
+  INBAND_HOT bool dispatch(Link& link, Host& dst, PacketRef pkt,
+                           const SendVerdict& verdict);
+
   // Transmits `pkt` on `link` toward `dst` after `hold` of simulated time.
-  void transmit_held(Link& link, Host& dst, Packet pkt, SimTime hold);
+  void transmit_held(Link& link, Host& dst, PacketRef pkt, SimTime hold);
 
   Simulator& sim_;
+  PacketPool pool_;
   std::unordered_map<Ipv4, Host*> hosts_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
-  SendHook send_hook_;
+  PacketObserver* observer_ = nullptr;
   SendInterceptor* interceptor_ = nullptr;
   std::uint64_t next_pkt_id_ = 1;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batch_packets_ = 0;
+  std::uint64_t max_batch_ = 0;
 };
 
-// A node attached to the network. Subclasses implement handle_packet();
-// outbound traffic goes through send() / send_to(). A mixin, not an entity:
-// a Host instance lives in whatever domain its derived class does (TcpHost
-// and KvServer in `shard`, LoadBalancer in `lb`), hence `owner`.
+// A node attached to the network. Subclasses implement handle_batch() (or
+// legacy handle_packet()); outbound traffic goes through send() / send_to() /
+// send_batch(). A mixin, not an entity: a Host instance lives in whatever
+// domain its derived class does (TcpHost and KvServer in `shard`,
+// LoadBalancer in `lb`), hence `owner`.
 INBAND_SHARD_LOCAL(owner)
 class Host : public PacketSink {
  public:
@@ -126,11 +196,27 @@ class Host : public PacketSink {
   Network& network() { return net_; }
 
   // Sends toward the packet's flow destination (the normal endpoint case).
-  bool send(Packet pkt) { return net_.send(addr_, pkt.flow.dst.addr, std::move(pkt)); }
+  INBAND_HOT bool send(PacketRef pkt) {
+    const Ipv4 to = pkt->flow.dst.addr;
+    return net_.send(addr_, to, std::move(pkt));
+  }
+  bool send(Packet pkt) {
+    return net_.send(addr_, pkt.flow.dst.addr, std::move(pkt));
+  }
 
   // Sends toward an explicit next hop regardless of the flow key (the LB
   // forwarding case).
-  bool send_to(Ipv4 to, Packet pkt) { return net_.send(addr_, to, std::move(pkt)); }
+  INBAND_HOT bool send_to(Ipv4 to, PacketRef pkt) {
+    return net_.send(addr_, to, std::move(pkt));
+  }
+  bool send_to(Ipv4 to, Packet pkt) {
+    return net_.send(addr_, to, std::move(pkt));
+  }
+
+  // Sends a whole batch toward one next hop; see Network::send_batch.
+  INBAND_HOT std::uint32_t send_batch(Ipv4 to, PacketBatch& batch) {
+    return net_.send_batch(addr_, to, batch);
+  }
 
  private:
   Simulator& sim_;

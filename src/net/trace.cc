@@ -8,12 +8,20 @@
 
 namespace inband {
 
-TraceRecorder::TraceRecorder(Network& net, std::optional<Ipv4> vantage) {
-  net.set_send_hook([this, vantage](const Packet& pkt, Ipv4 from, Ipv4 to) {
-    if (vantage && *vantage != from && *vantage != to) return;
-    rows_.push_back({pkt.sent_at, from, to, pkt.flow, pkt.seq, pkt.ack,
-                     pkt.flags, pkt.payload_len});
-  });
+TraceRecorder::TraceRecorder(Network& net, std::optional<Ipv4> vantage)
+    : net_{net}, vantage_{vantage} {
+  net_.set_observer(this);
+}
+
+TraceRecorder::~TraceRecorder() {
+  if (net_.observer() == this) net_.set_observer(nullptr);
+}
+
+void TraceRecorder::on_packet(const Packet& pkt, Ipv4 from, Ipv4 to) {
+  if (vantage_ && *vantage_ != from && *vantage_ != to) return;
+  // hotlint:allow(hot-growth): opt-in trace capture, one row per packet
+  rows_.push_back({pkt.sent_at, from, to, pkt.flow, pkt.seq, pkt.ack,
+                   pkt.flags, pkt.payload_len});
 }
 
 void TraceRecorder::save_csv(const std::string& path) const {

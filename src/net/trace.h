@@ -1,6 +1,6 @@
 // Packet trace recording and offline replay.
 //
-// TraceRecorder hooks Network's send path and keeps one row per packet.
+// TraceRecorder observes Network's send path and keeps one row per packet.
 // Traces can be saved to CSV and reloaded, which lets the estimators run
 // offline over captured traffic (see examples/trace_analysis.cc) — the same
 // way one would run them over a pcap from a production LB.
@@ -29,13 +29,17 @@ struct TraceRow {
 };
 
 INBAND_SHARD_LOCAL(owner)
-class TraceRecorder {
+class TraceRecorder : public PacketObserver {
  public:
   // Starts recording on `net`. Optionally filter to packets observed
   // departing from or arriving at `vantage` (e.g. record only what an LB
-  // forwards). Replaces any previously installed send hook.
+  // forwards). Replaces any previously installed observer; deregisters
+  // itself on destruction (if still installed).
   explicit TraceRecorder(Network& net,
                          std::optional<Ipv4> vantage = std::nullopt);
+  ~TraceRecorder() override;
+
+  void on_packet(const Packet& pkt, Ipv4 from, Ipv4 to) override;
 
   const std::vector<TraceRow>& rows() const { return rows_; }
   void clear() { rows_.clear(); }
@@ -47,6 +51,8 @@ class TraceRecorder {
   static std::vector<TraceRow> load_csv(const std::string& path);
 
  private:
+  Network& net_;
+  std::optional<Ipv4> vantage_;
   std::vector<TraceRow> rows_;
 };
 

@@ -193,7 +193,16 @@ std::unique_ptr<RoutingPolicy> ClusterRig::make_policy(
 }
 
 void ClusterRig::run() {
-  Simulator::LogClockGuard log_guard{sim_};
+  start();
+  run_until(config_.duration);
+  finish();
+}
+
+void ClusterRig::start() {
+  INBAND_ASSERT(!started_, "ClusterRig::start() called twice");
+  started_ = true;
+  log_guard_.emplace(sim_);
+  if (config_.reserve_records > 0) records_.reserve(config_.reserve_records);
 
   if (config_.inject_time < config_.duration && config_.inject_extra > 0) {
     sim_.schedule_at(config_.inject_time, [this] {
@@ -214,12 +223,21 @@ void ClusterRig::run() {
     audit_task_->start(config_.audit_interval);
   }
   for (auto& c : clients_) c->start();
-  sim_.run_until(config_.duration);
+}
+
+void ClusterRig::run_until(SimTime t) {
+  INBAND_ASSERT(started_, "ClusterRig::run_until() before start()");
+  sim_.run_until(t);
+}
+
+void ClusterRig::finish() {
+  INBAND_ASSERT(started_, "ClusterRig::finish() before start()");
   for (auto& c : clients_) c->stop();
   if (audit_task_) {
     audit_task_->cancel();
     auditor_.run_all(sim_.now());  // final full audit at end of run
   }
+  log_guard_.reset();
 }
 
 std::vector<Sample> ClusterRig::get_latency_samples() const {

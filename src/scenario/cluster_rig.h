@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,10 @@ struct ClusterRigConfig {
   // hooks stay registered either way so tests can run them on demand.
   SimTime audit_interval = ms(250);
   std::uint64_t seed = 2022;
+  // Pre-reserve the completed-request record vector at start(). Lets
+  // allocation tests take the record stream off the steady-state heap
+  // profile; 0 keeps the default growth behaviour.
+  std::size_t reserve_records = 0;
 };
 
 INBAND_SHARD_LOCAL(owner)
@@ -89,6 +94,15 @@ class ClusterRig {
   ~ClusterRig();
 
   void run();
+
+  // Phased form of run() for callers that need to observe the rig mid-run
+  // (e.g. the allocation test brackets a steady-state window between two
+  // run_until() calls). start() arms the injection schedule, samplers, and
+  // clients; run_until() advances the clock; finish() stops the clients and
+  // runs the final audit. run() == start(); run_until(duration); finish().
+  void start();
+  void run_until(SimTime t);
+  void finish();
 
   // All completed requests (client-side ground truth).
   const std::vector<RequestRecord>& records() const { return records_; }
@@ -149,6 +163,9 @@ class ClusterRig {
   std::unique_ptr<PeriodicTask> share_sampler_;
   InvariantAuditor auditor_;
   std::unique_ptr<PeriodicTask> audit_task_;
+  // Live between start() and finish() so phased runs log sim timestamps.
+  std::optional<Simulator::LogClockGuard> log_guard_;
+  bool started_ = false;
 };
 
 }  // namespace inband

@@ -313,8 +313,12 @@ class EventQueue {
   // Buckets are first reached only when the cursor enters their time range,
   // so without an up-front reserve the first-touch growth of each vector
   // would surface as rare allocations arbitrarily late in a run. Reserved in
-  // the constructor; sized for typical per-bucket pending counts.
-  static constexpr std::size_t kBucketReserve = 8;
+  // the constructor; sized above the worst per-bucket coincidence the rig
+  // workloads produce (occupancy spikes past 16 were observed as mid-run
+  // capacity doublings under the zero-alloc gate), because a bucket's first
+  // growth past the reserve can happen arbitrarily late. 128 buckets at
+  // 64 entries of 16 bytes is 128 KiB per queue — noise next to the slab.
+  static constexpr std::size_t kBucketReserve = 64;
   static constexpr std::size_t kFarReserve = 64;
 
   // Files a pending entry by its distance from the wheel cursor: the level

@@ -68,29 +68,36 @@ std::uint64_t TcpConnection::effective_window() const {
   return std::min<std::uint64_t>(config_.cwnd_bytes, peer_rwnd_);
 }
 
-Packet TcpConnection::make_packet(std::uint8_t flags,
-                                  std::uint64_t seq_offset,
-                                  std::uint32_t payload_len) {
-  Packet p;
-  p.flow = key_;
-  p.seq = wrap_seq(isn_, seq_offset);
-  p.flags = flags;
-  p.payload_len = payload_len;
-  p.wnd = advertised_window();
-  p.ts_val = sim().now();
+PacketRef TcpConnection::make_packet(std::uint8_t flags,
+                                     std::uint64_t seq_offset,
+                                     std::uint32_t payload_len) {
+  PacketRef p = stack_.pool().acquire();
+  p->flow = key_;
+  p->seq = wrap_seq(isn_, seq_offset);
+  p->flags = flags;
+  p->payload_len = payload_len;
+  p->wnd = advertised_window();
+  p->ts_val = sim().now();
   if ((flags & tcpflag::kAck) != 0) {
-    p.ack = wrap_seq(
+    p->ack = wrap_seq(
         irs_, ack_offset_of(recv_buf_, peer_fin_processed_, peer_fin_offset_));
-    p.ts_ecr = ts_recent_;
+    p->ts_ecr = ts_recent_;
   }
   return p;
 }
 
-void TcpConnection::emit(Packet pkt) {
+void TcpConnection::emit(PacketRef pkt) {
   ++segments_sent_;
-  if (pkt.has(tcpflag::kAck)) {
+  if (pkt->has(tcpflag::kAck)) {
     unacked_segments_ = 0;
     cancel_delack();
+  }
+  if (open_batch_ != nullptr) {
+    if (open_batch_->full()) {
+      stack_.output_batch(key_.dst.addr, *open_batch_);  // clears the batch
+    }
+    open_batch_->push(std::move(pkt));
+    return;
   }
   stack_.output(std::move(pkt));
 }
@@ -130,8 +137,7 @@ void TcpConnection::close() {
 
 void TcpConnection::abort() {
   if (state_ == TcpState::kClosed) return;
-  Packet rst = make_packet(tcpflag::kRst | tcpflag::kAck, snd_nxt_, 0);
-  emit(std::move(rst));
+  emit(make_packet(tcpflag::kRst | tcpflag::kAck, snd_nxt_, 0));
   teardown(true);
 }
 
@@ -336,6 +342,14 @@ void TcpConnection::try_send() {
     return;
   }
 
+  // Unpaced senders burst the whole window at one instant, so the segments
+  // accumulate in a stack-local batch and leave through one send_batch()
+  // call — same packets, same delivery schedule, one virtual-dispatch pass
+  // per layer instead of one per segment. Paced senders emit at most one
+  // segment here and stay on the scalar path.
+  PacketBatch burst;
+  if (!config_.pacing) open_batch_ = &burst;
+
   while (true) {
     const std::uint64_t wnd = effective_window();
     const std::uint64_t avail_end =
@@ -363,6 +377,11 @@ void TcpConnection::try_send() {
 
   maybe_send_fin();
 
+  if (open_batch_ != nullptr) {
+    open_batch_ = nullptr;
+    if (!burst.empty()) stack_.output_batch(key_.dst.addr, burst);
+  }
+
   if (snd_nxt_ > snd_una_ && retx_timer_ == kInvalidEventId) arm_retx();
 }
 
@@ -371,8 +390,8 @@ void TcpConnection::send_data_segment(std::uint64_t offset, std::uint32_t len,
   auto msgs = send_buf_.messages_in(offset, offset + len);
   std::uint8_t flags = tcpflag::kAck;
   if (!msgs.empty()) flags |= tcpflag::kPsh;
-  Packet p = make_packet(flags, offset, len);
-  p.msgs = std::move(msgs);
+  PacketRef p = make_packet(flags, offset, len);
+  p->msgs = std::move(msgs);
   if (retransmission) ++retransmits_;
   emit(std::move(p));
 }
@@ -389,7 +408,10 @@ bool TcpConnection::maybe_send_fin() {
   snd_nxt_ += 1;
   state_ = state_ == TcpState::kEstablished ? TcpState::kFinWait1
                                             : TcpState::kLastAck;
-  if (retx_timer_ == kInvalidEventId) arm_retx();
+  // Retransmission arming is the caller's epilogue (try_send): after a FIN
+  // snd_nxt_ > snd_una_ always holds, so the timer is armed there — after
+  // the burst batch flushes, keeping the event-push order of the old
+  // emit-immediately path.
   return true;
 }
 

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "tcp/config.h"
 #include "util/hotpath.h"
@@ -128,9 +129,13 @@ class TcpConnection {
 
   Simulator& sim();
 
-  Packet make_packet(std::uint8_t flags, std::uint64_t seq_offset,
-                     std::uint32_t payload_len);
-  void emit(Packet pkt);
+  // Acquires a pooled buffer and fills the TCP header in place.
+  INBAND_HOT PacketRef make_packet(std::uint8_t flags,
+                                   std::uint64_t seq_offset,
+                                   std::uint32_t payload_len);
+  // Hands a segment to the stack — immediately, or into the open burst
+  // batch when try_send() is accumulating one.
+  INBAND_HOT void emit(PacketRef pkt);
   std::uint32_t advertised_window() const;
 
   INBAND_HOT void try_send();
@@ -178,6 +183,10 @@ class TcpConnection {
 
   // Timestamp option state.
   SimTime ts_recent_ = kNoTime;
+
+  // Non-null only while try_send() is accumulating an unpaced burst; emit()
+  // then appends instead of outputting one segment at a time.
+  PacketBatch* open_batch_ = nullptr;
 
   // Timers.
   EventId retx_timer_ = kInvalidEventId;

@@ -1,6 +1,6 @@
 #include "tcp/send_buffer.h"
 
-#include <algorithm>
+#include <cstddef>
 
 #include "util/assert.h"
 
@@ -10,26 +10,33 @@ void SendBuffer::append_message(std::shared_ptr<const AppPayload> payload,
                                 std::uint32_t wire_bytes) {
   INBAND_ASSERT(wire_bytes > 0, "empty message");
   end_ += wire_bytes;
-  // hotlint:allow(hot-growth): one record per app message, deque-amortized
-  msgs_.push_back({end_, std::move(payload)});
+  msgs_.push({end_, std::move(payload)});
 }
 
 MsgList SendBuffer::messages_in(std::uint64_t range_start,
                                 std::uint64_t range_end) const {
   MsgList out;
-  // msgs_ is sorted by end_offset; find the first with end_offset > start.
-  auto it = std::partition_point(
-      msgs_.begin(), msgs_.end(),
-      [&](const MessageRef& m) { return m.end_offset <= range_start; });
-  for (; it != msgs_.end() && it->end_offset <= range_end; ++it) {
-    out.push_msg(*it);
+  // msgs_ is sorted by end_offset; binary-search the first with
+  // end_offset > range_start, then walk forward through the range.
+  std::size_t lo = 0;
+  std::size_t hi = msgs_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (msgs_[mid].end_offset <= range_start) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (; lo < msgs_.size() && msgs_[lo].end_offset <= range_end; ++lo) {
+    out.push_msg(msgs_[lo]);
   }
   return out;
 }
 
 void SendBuffer::release_acked(std::uint64_t snd_una) {
   while (!msgs_.empty() && msgs_.front().end_offset <= snd_una) {
-    msgs_.pop_front();
+    msgs_.pop();
   }
 }
 

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "net/packet.h"
+#include "util/ring_buffer.h"
 #include "util/shard.h"
 
 namespace inband {
@@ -45,7 +45,7 @@ class SendBuffer {
 
  private:
   std::uint64_t end_ = 1;
-  std::deque<MessageRef> msgs_;  // sorted by end_offset (append-only order)
+  RingBuffer<MessageRef> msgs_;  // sorted by end_offset (append-only order)
 };
 
 }  // namespace inband

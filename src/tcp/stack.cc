@@ -77,7 +77,7 @@ TcpConnection* TcpStack::find(const FlowKey& local_view) {
   return it == conns_.end() ? nullptr : it->second.get();
 }
 
-void TcpStack::on_packet(Packet pkt) {
+void TcpStack::on_packet(const Packet& pkt) {
   const FlowKey local_view = pkt.flow.reversed();
   if (auto* conn = find(local_view)) {
     conn->on_packet(pkt);
@@ -104,16 +104,20 @@ void TcpStack::on_packet(Packet pkt) {
 }
 
 void TcpStack::send_rst_for(const Packet& pkt) {
-  Packet rst;
-  rst.flow = pkt.flow.reversed();
-  rst.flags = tcpflag::kRst | tcpflag::kAck;
-  rst.seq = pkt.ack;  // plausible; peers tear down on any RST in this model
-  rst.ack = pkt.seq + pkt.seq_len();
+  PacketRef rst = pool().acquire();
+  rst->flow = pkt.flow.reversed();
+  rst->flags = tcpflag::kRst | tcpflag::kAck;
+  rst->seq = pkt.ack;  // plausible; peers tear down on any RST in this model
+  rst->ack = pkt.seq + pkt.seq_len();
   ++resets_sent_;
   output(std::move(rst));
 }
 
-void TcpStack::output(Packet pkt) { host_.send(std::move(pkt)); }
+void TcpStack::output(PacketRef pkt) { host_.send(std::move(pkt)); }
+
+void TcpStack::output_batch(Ipv4 to, PacketBatch& batch) {
+  host_.send_batch(to, batch);
+}
 
 void TcpStack::reap(const FlowKey& key) {
   // Deferred: the connection may be deep in its own call stack right now.

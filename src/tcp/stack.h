@@ -39,14 +39,16 @@ class TcpStack {
 
   void listen(std::uint16_t port, AcceptCallback cb);
 
-  // Entry point from the owning host.
-  void on_packet(Packet pkt);
+  // Entry point from the owning host. The packet is borrowed for the call:
+  // batch delivery hands each pooled element here without copying it out.
+  INBAND_HOT void on_packet(const Packet& pkt);
 
   TcpConnection* find(const FlowKey& local_view);
   std::size_t connection_count() const { return conns_.size(); }
 
   Host& host() { return host_; }
   Simulator& sim() { return host_.sim(); }
+  PacketPool& pool() { return host_.network().pool(); }
   const TcpConfig& default_config() const { return default_config_; }
 
   std::uint64_t resets_sent() const { return resets_sent_; }
@@ -64,7 +66,8 @@ class TcpStack {
  private:
   friend class TcpConnection;
 
-  void output(Packet pkt);
+  INBAND_HOT void output(PacketRef pkt);
+  INBAND_HOT void output_batch(Ipv4 to, PacketBatch& batch);
   // Defers destruction of a closed connection to a fresh event.
   void reap(const FlowKey& key);
   std::uint16_t allocate_port();
@@ -96,7 +99,15 @@ class TcpHost : public Host {
 
   TcpStack& stack() { return stack_; }
 
-  void handle_packet(Packet pkt) override { stack_.on_packet(std::move(pkt)); }
+  // Native batch delivery: segments are processed in place, straight out of
+  // the pooled buffers; nothing is copied onto this hop.
+  INBAND_HOT void handle_batch(PacketBatch&& batch) override {
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      stack_.on_packet(*batch[i]);
+    }
+  }
+
+  void handle_packet(Packet pkt) override { stack_.on_packet(pkt); }
 
  private:
   TcpStack stack_;

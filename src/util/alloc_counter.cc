@@ -25,6 +25,7 @@ namespace {
 // odd runtime-internal thread touching the heap during shutdown.
 std::atomic<std::uint64_t> g_count{0};
 std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<AllocHook> g_hook{nullptr};
 }  // namespace
 
 Snapshot snapshot() {
@@ -40,15 +41,25 @@ bool counting_enabled() {
 #endif
 }
 
+void set_alloc_hook(AllocHook hook) {
+  g_hook.store(hook, std::memory_order_relaxed);
+}
+
 namespace {
+inline void run_hook(std::size_t n) {
+  // hotlint:allow(shard-global): atomic diagnostic hook; null outside tests
+  if (AllocHook hook = g_hook.load(std::memory_order_relaxed)) hook(n);
+}
 inline void* counted_alloc(std::size_t n) {
   g_count.fetch_add(1, std::memory_order_relaxed);
   g_bytes.fetch_add(n, std::memory_order_relaxed);
+  run_hook(n);
   return std::malloc(n != 0 ? n : 1);
 }
 inline void* counted_alloc_aligned(std::size_t n, std::size_t align) {
   g_count.fetch_add(1, std::memory_order_relaxed);
   g_bytes.fetch_add(n, std::memory_order_relaxed);
+  run_hook(n);
   // aligned_alloc requires size to be a multiple of alignment.
   const std::size_t rounded = (n + align - 1) / align * align;
   return std::aligned_alloc(align, rounded != 0 ? rounded : align);

@@ -22,6 +22,13 @@ struct Snapshot {
 Snapshot snapshot();
 bool counting_enabled();
 
+// Attribution aid: when set, the hook fires on every counted allocation
+// (with the requested size) before the allocation happens. The hook must
+// not allocate. Used by zero-alloc tests to print backtraces for the
+// allocations that broke the budget; null (the default) disables it.
+using AllocHook = void (*)(std::size_t bytes);
+void set_alloc_hook(AllocHook hook);
+
 inline Snapshot delta(const Snapshot& before, const Snapshot& after) {
   return {after.count - before.count, after.bytes - before.bytes};
 }

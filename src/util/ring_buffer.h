@@ -1,0 +1,90 @@
+// Recycling FIFO ring buffer.
+//
+// Replaces the std::deque push_back/pop_front pattern on hot paths: push()
+// appends at the tail, pop() recycles the head slot.
+// A deque allocates and frees ~512-byte blocks as elements cycle through —
+// visible as steady-state heap traffic in the fig-3 rig (TCP send-buffer
+// message records, the KV server's overload queue). This ring keeps one
+// power-of-two slab and reuses slots forever; the only allocation is the
+// doubling growth when occupancy exceeds the high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/hotpath.h"
+#include "util/shard.h"
+
+namespace inband {
+
+template <typename T>
+INBAND_SHARD_LOCAL(owner)
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  INBAND_HOT void push(T value) {
+    if (size_ == slots_.size()) {
+      INBAND_COLD_OK("doubling growth past the occupancy high-water mark");
+      grow();
+    }
+    slots_[index(size_)] = std::move(value);
+    ++size_;
+  }
+
+  INBAND_HOT void pop() {
+    INBAND_ASSERT(size_ > 0, "pop on empty ring");
+    slots_[head_] = T{};  // drop held resources now, not at overwrite
+    head_ = mask(head_ + 1);
+    --size_;
+  }
+
+  T& front() {
+    INBAND_ASSERT(size_ > 0, "front on empty ring");
+    return slots_[head_];
+  }
+  const T& front() const {
+    INBAND_ASSERT(size_ > 0, "front on empty ring");
+    return slots_[head_];
+  }
+
+  // i-th element from the front (0 == front()).
+  T& operator[](std::size_t i) {
+    INBAND_DCHECK(i < size_);
+    return slots_[index(i)];
+  }
+  const T& operator[](std::size_t i) const {
+    INBAND_DCHECK(i < size_);
+    return slots_[index(i)];
+  }
+
+  void clear() {
+    while (size_ > 0) pop();
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::size_t mask(std::size_t i) const { return i & (slots_.size() - 1); }
+  std::size_t index(std::size_t i) const { return mask(head_ + i); }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<T> grown(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) grown[i] = std::move((*this)[i]);
+    slots_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-two capacity, or empty
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace inband

@@ -6,7 +6,9 @@
 #include <fstream>
 #include <unordered_set>
 
+#include "check/reference_models.h"
 #include "net/network.h"
+#include "net/packet_pool.h"
 #include "net/trace.h"
 #include "sim/simulator.h"
 
@@ -228,8 +230,9 @@ TEST(Network, DropCounting) {
   p.payload_len = 1400;
   p.flow = {{1, 1}, {2, 2}, IpProto::kTcp};
   for (int i = 0; i < 20; ++i) a.send(p);
-  EXPECT_GT(net.packets_dropped(), 0u);
-  EXPECT_EQ(net.packets_sent(), 20u);
+  const NetStats stats = net.stats();
+  EXPECT_GT(stats.packets_dropped, 0u);
+  EXPECT_EQ(stats.packets_sent, 20u);
 }
 
 TEST(Network, HasLink) {
@@ -372,6 +375,259 @@ TEST(LinkJitter, ZeroJitterIsExact) {
   link.transmit(p, sink);
   sim.run();
   EXPECT_EQ(sim.now(), us(18));
+}
+
+// --- packet pool ---
+
+TEST(PacketPool, AcquireReleaseRecycles) {
+  PacketPool pool;
+  Packet* first;
+  {
+    PacketRef ref = pool.acquire();
+    first = &*ref;
+    ref->payload_len = 999;
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  {
+    // The freed slot comes back (LIFO freelist) and arrives reset.
+    PacketRef ref = pool.acquire();
+    EXPECT_EQ(&*ref, first);
+    EXPECT_EQ(ref->payload_len, 0u);
+  }
+  EXPECT_EQ(pool.stats().acquired, 2u);
+  EXPECT_EQ(pool.stats().released, 2u);
+}
+
+TEST(PacketPool, ExhaustionGrowsByChunkAndRecyclesAfter) {
+  PacketPool pool;
+  std::vector<PacketRef> refs;
+  const std::uint64_t chunk = PacketPool::kChunkPackets;
+  for (std::uint64_t i = 0; i < chunk + 1; ++i) refs.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().slots, 2 * chunk);  // second slab after exhaustion
+  EXPECT_EQ(pool.stats().outstanding, chunk + 1);
+  EXPECT_EQ(pool.stats().high_water, chunk + 1);
+  refs.clear();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  // Re-acquiring the same working set touches no new slab.
+  for (std::uint64_t i = 0; i < chunk + 1; ++i) refs.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().slots, 2 * chunk);
+  EXPECT_EQ(pool.stats().high_water, chunk + 1);
+}
+
+TEST(PacketBatch, PushTakeClear) {
+  PacketPool pool;
+  PacketBatch batch;
+  EXPECT_TRUE(batch.empty());
+  for (std::uint32_t i = 0; i < PacketBatch::kCapacity; ++i) {
+    PacketRef ref = pool.acquire();
+    ref->seq = i;
+    batch.push(std::move(ref));
+  }
+  EXPECT_TRUE(batch.full());
+  PacketRef taken = batch.take(3);
+  EXPECT_EQ(taken->seq, 3u);
+  taken.reset();
+  EXPECT_EQ(pool.stats().outstanding, PacketBatch::kCapacity - 1);
+  batch.clear();  // releases every remaining ref back to the pool
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+// --- batch send path ---
+
+// Host that records per-packet arrival (id, time, carrying-batch size)
+// through the native batch entry point.
+class BatchRecordingHost : public Host {
+ public:
+  using Host::Host;
+  struct Arrival {
+    std::uint64_t pkt_id;
+    SimTime at;
+    std::uint32_t batch_size;
+  };
+  void handle_batch(PacketBatch&& batch) override {
+    for (std::uint32_t i = 0; i < batch.size(); ++i) {
+      arrivals.push_back({batch[i]->pkt_id, sim().now(), batch.size()});
+    }
+  }
+  std::vector<Arrival> arrivals;
+};
+
+// Drives the same interleaved batch/scalar traffic through the new batch
+// path (real simulator) and the pre-redesign per-packet oracle, over a
+// jittered, queue-limited link. Delivery times, order, and drop counts must
+// match bit-for-bit — the redesign's core contract.
+TEST(PacketBatchPath, MatchesLegacyScalarTiming) {
+  const LinkParams params{1'000'000'000, us(10), 3000, us(5), 0.8, 1234};
+  Simulator sim;
+  Network net{sim};
+  BatchRecordingHost a{sim, net, 1, "a"};
+  BatchRecordingHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, params);
+  LegacyScalarSendPath oracle{params};
+
+  const FlowKey flow{{1, 1000}, {2, 80}, IpProto::kTcp};
+  SimTime t = 0;
+  for (int round = 0; round < 200; ++round) {
+    t += us(1) + (round % 7) * 100;
+    sim.run_until(t);
+    const std::uint32_t n =
+        1 + static_cast<std::uint32_t>(round) % PacketBatch::kCapacity;
+    PacketBatch batch;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      PacketRef ref = net.pool().acquire();
+      ref->flow = flow;
+      ref->payload_len = (static_cast<std::uint32_t>(round) * 37 + j * 11) % 1000;
+      batch.push(std::move(ref));
+    }
+    for (std::uint32_t j = 0; j < n; ++j) {
+      Packet probe;
+      probe.payload_len = (static_cast<std::uint32_t>(round) * 37 + j * 11) % 1000;
+      oracle.send(t, probe.wire_size());
+    }
+    a.send_batch(2, batch);
+    if (round % 3 == 0) {
+      // Interleave a scalar send: both forms share the pkt_id counter and
+      // the link FIFO.
+      Packet p;
+      p.flow = flow;
+      p.payload_len = 200;
+      a.send(p);
+      Packet probe;
+      probe.payload_len = 200;
+      oracle.send(t, probe.wire_size());
+    }
+  }
+  sim.run();
+  oracle.release_held(sim.now());
+
+  const auto& expected = oracle.deliveries();
+  ASSERT_EQ(b.arrivals.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(b.arrivals[i].pkt_id, expected[i].pkt_id) << "at index " << i;
+    EXPECT_EQ(b.arrivals[i].at, expected[i].deliver_at) << "at index " << i;
+  }
+  const NetStats stats = net.stats();
+  EXPECT_EQ(stats.packets_sent, oracle.packets_sent());
+  EXPECT_EQ(stats.packets_dropped, oracle.packets_dropped());
+}
+
+// Deterministic per-packet verdicts keyed on the stamped pkt_id: both paths
+// stamp the same id sequence, so both apply the same drop/hold/duplicate
+// pattern. Exercises BatchVerdict dispatch (drop recycles the slot, holds
+// re-clock through the simulator, duplicates ride pooled clones).
+class PatternInterceptor : public SendInterceptor {
+ public:
+  SendVerdict on_send(const Packet& pkt, Ipv4, Ipv4) override {
+    return verdict_for(pkt.pkt_id);
+  }
+  static SendVerdict verdict_for(std::uint64_t id) {
+    SendVerdict v;
+    if (id % 5 == 0) v.drop = true;
+    if (id % 7 == 0) v.hold = us(3) + 1;
+    if (id % 11 == 0) v.duplicate_hold = us(2) + 1;
+    return v;
+  }
+};
+
+TEST(PacketBatchPath, BatchVerdictsMatchLegacyScalarPath) {
+  const LinkParams params{1'000'000'000, us(10), 0, 0, 0.0, 1};
+  Simulator sim;
+  Network net{sim};
+  BatchRecordingHost a{sim, net, 1, "a"};
+  BatchRecordingHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, params);
+  PatternInterceptor interceptor;
+  net.set_interceptor(&interceptor);
+  LegacyScalarSendPath oracle{params};
+
+  const FlowKey flow{{1, 1000}, {2, 80}, IpProto::kTcp};
+  SimTime t = 0;
+  std::uint64_t oracle_id = 1;  // mirrors Network's pkt_id stamping
+  for (int round = 0; round < 100; ++round) {
+    t += us(1) + (round % 5) * 100;
+    sim.run_until(t);
+    const std::uint32_t n = 1 + static_cast<std::uint32_t>(round) % 13;
+    PacketBatch batch;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      PacketRef ref = net.pool().acquire();
+      ref->flow = flow;
+      ref->payload_len = 100;
+      batch.push(std::move(ref));
+    }
+    a.send_batch(2, batch);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      Packet probe;
+      probe.payload_len = 100;
+      oracle.send(t, probe.wire_size(),
+                  PatternInterceptor::verdict_for(oracle_id++));
+    }
+  }
+  sim.run();
+  oracle.release_held(sim.now());
+
+  const auto& expected = oracle.deliveries();
+  ASSERT_EQ(b.arrivals.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(b.arrivals[i].pkt_id, expected[i].pkt_id) << "at index " << i;
+    EXPECT_EQ(b.arrivals[i].at, expected[i].deliver_at) << "at index " << i;
+  }
+  // Dropped ids never arrive; duplicated ids arrive twice.
+  std::uint64_t dup_arrivals = 0;
+  for (const auto& arr : b.arrivals) {
+    EXPECT_NE(arr.pkt_id % 5, 0u);
+    if (arr.pkt_id % 11 == 0) ++dup_arrivals;
+  }
+  EXPECT_GT(dup_arrivals, 0u);
+  EXPECT_EQ(dup_arrivals % 2, 0u);
+  net.set_interceptor(nullptr);
+}
+
+// A legacy sink that only overrides handle_packet still receives batched
+// traffic through the default unbatching shim.
+TEST(PacketBatchPath, DefaultShimDeliversToScalarSinks) {
+  Simulator sim;
+  Network net{sim};
+  EchoHost a{sim, net, 1, "a"};
+  EchoHost b{sim, net, 2, "b"};  // overrides handle_packet only
+  net.add_link(1, 2, {1'000'000'000, us(5), 0});
+  PacketBatch batch;
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    PacketRef ref = net.pool().acquire();
+    ref->flow = {{1, 1}, {2, 2}, IpProto::kTcp};
+    ref->seq = j;
+    batch.push(std::move(ref));
+  }
+  EXPECT_EQ(a.send_batch(2, batch), 4u);
+  sim.run();
+  ASSERT_EQ(b.received.size(), 4u);
+  for (std::uint32_t j = 0; j < 4; ++j) EXPECT_EQ(b.received[j].seq, j);
+  EXPECT_EQ(net.pool().stats().outstanding, 0u);
+}
+
+TEST(PacketBatchPath, NetStatsTracksBatchesAndPool) {
+  Simulator sim;
+  Network net{sim};
+  BatchRecordingHost a{sim, net, 1, "a"};
+  BatchRecordingHost b{sim, net, 2, "b"};
+  net.add_link(1, 2, {1'000'000'000, us(5), 0});
+  for (std::uint32_t n : {3u, 7u, 2u}) {
+    PacketBatch batch;
+    for (std::uint32_t j = 0; j < n; ++j) {
+      PacketRef ref = net.pool().acquire();
+      ref->flow = {{1, 1}, {2, 2}, IpProto::kTcp};
+      batch.push(std::move(ref));
+    }
+    a.send_batch(2, batch);
+  }
+  sim.run();
+  const NetStats stats = net.stats();
+  EXPECT_EQ(stats.packets_sent, 12u);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.batch_packets, 12u);
+  EXPECT_EQ(stats.max_batch, 7u);
+  EXPECT_EQ(stats.pool.outstanding, 0u);
+  EXPECT_GE(stats.pool.high_water, 7u);
+  EXPECT_EQ(stats.pool.acquired, stats.pool.released);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,16 @@ constexpr std::uint16_t kPort = 7000;
 struct TestPayload final : AppPayload {
   explicit TestPayload(int t) : tag{t} {}
   int tag;
+};
+
+// Test-only adapter: a PacketObserver that forwards to a lambda.
+struct CallbackObserver final : PacketObserver {
+  explicit CallbackObserver(std::function<void(const Packet&, Ipv4, Ipv4)> f)
+      : fn{std::move(f)} {}
+  void on_packet(const Packet& pkt, Ipv4 from, Ipv4 to) override {
+    fn(pkt, from, to);
+  }
+  std::function<void(const Packet&, Ipv4, Ipv4)> fn;
 };
 
 // Two hosts on a duplex link; B listens.
@@ -363,15 +374,14 @@ TEST(TcpData, SenderGetsRttSamples) {
 // --- ACK policy ---
 
 // Counts pure ACKs (no payload) from B to A at the network layer.
-struct AckCounter {
-  explicit AckCounter(Network& net) {
-    net.set_send_hook([this](const Packet& pkt, Ipv4 from, Ipv4) {
-      if (from == kB && pkt.payload_len == 0 && pkt.has(tcpflag::kAck) &&
-          !pkt.has(tcpflag::kSyn) && !pkt.has(tcpflag::kFin)) {
-        ++pure_acks;
-      }
-      if (from == kA && pkt.payload_len > 0) ++data_segments;
-    });
+struct AckCounter final : PacketObserver {
+  explicit AckCounter(Network& net) { net.set_observer(this); }
+  void on_packet(const Packet& pkt, Ipv4 from, Ipv4) override {
+    if (from == kB && pkt.payload_len == 0 && pkt.has(tcpflag::kAck) &&
+        !pkt.has(tcpflag::kSyn) && !pkt.has(tcpflag::kFin)) {
+      ++pure_acks;
+    }
+    if (from == kA && pkt.payload_len > 0) ++data_segments;
   }
   int pure_acks = 0;
   int data_segments = 0;
@@ -459,7 +469,7 @@ TEST(TcpLoss, RecoversThroughLossyQueue) {
   rig.sim.run_until(sec(10));
   EXPECT_EQ(bytes, kTotal);  // everything arrives despite drops
   EXPECT_GT(client->retransmits(), 0u);
-  EXPECT_GT(rig.net.packets_dropped(), 0u);
+  EXPECT_GT(rig.net.stats().packets_dropped, 0u);
 }
 
 TEST(TcpLoss, MessagesSurviveRetransmission) {
@@ -583,9 +593,10 @@ TEST(TcpPacing, SpacesSegmentsAtRate) {
   cfg.cwnd_bytes = 16 * cfg.mss;
   TcpRig rig{cfg, {10'000'000'000, us(50), 0}};
   std::vector<SimTime> data_times;
-  rig.net.set_send_hook([&](const Packet& pkt, Ipv4 from, Ipv4) {
+  CallbackObserver obs{[&](const Packet& pkt, Ipv4 from, Ipv4) {
     if (from == kA && pkt.payload_len > 0) data_times.push_back(pkt.sent_at);
-  });
+  }};
+  rig.net.set_observer(&obs);
   rig.b.stack().listen(kPort, [](TcpConnection&) {});
   auto* client = rig.a.stack().connect({kB, kPort}, cfg);
   client->callbacks().on_established = [](TcpConnection& c) {
@@ -604,9 +615,10 @@ TEST(TcpPacing, UnpacedSenderBursts) {
   cfg.cwnd_bytes = 16 * cfg.mss;
   TcpRig rig{cfg, {10'000'000'000, us(50), 0}};
   std::vector<SimTime> data_times;
-  rig.net.set_send_hook([&](const Packet& pkt, Ipv4 from, Ipv4) {
+  CallbackObserver obs{[&](const Packet& pkt, Ipv4 from, Ipv4) {
     if (from == kA && pkt.payload_len > 0) data_times.push_back(pkt.sent_at);
-  });
+  }};
+  rig.net.set_observer(&obs);
   rig.b.stack().listen(kPort, [](TcpConnection&) {});
   auto* client = rig.a.stack().connect({kB, kPort}, cfg);
   client->callbacks().on_established = [](TcpConnection& c) {
@@ -882,12 +894,13 @@ TEST(TcpAck, ResponsesPiggybackAcks) {
   TcpRig rig;
   int server_pure_acks = 0;
   int server_data_segments = 0;
-  rig.net.set_send_hook([&](const Packet& pkt, Ipv4 from, Ipv4) {
+  CallbackObserver obs{[&](const Packet& pkt, Ipv4 from, Ipv4) {
     if (from != kB) return;
     if (pkt.has(tcpflag::kSyn) || pkt.has(tcpflag::kFin)) return;
     if (pkt.payload_len == 0 && pkt.has(tcpflag::kAck)) ++server_pure_acks;
     if (pkt.payload_len > 0) ++server_data_segments;
-  });
+  }};
+  rig.net.set_observer(&obs);
   EchoServer server{rig.b, kPort};
   auto* client = rig.a.stack().connect({kB, kPort});
   int remaining = 50;
