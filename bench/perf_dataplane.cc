@@ -10,7 +10,13 @@
 //  3. a scaled Fig. 3 cluster rig: wall-clock packets/sec + events/sec and
 //     heap allocations per packet (global operator new counting via
 //     src/util/alloc_counter, linked into this binary only), plus a same-seed
-//     double run whose state digests must match.
+//     double run whose state digests must match;
+//  4. the sharded parallel rig (scenario/sharded_rig.h) at 1 and 4 workers:
+//     aggregate packets/sec each, the 4-worker speedup, and — the gate —
+//     whether the combined digest is identical at both worker counts.
+//     rig_parallel_hw_threads records the runner's core budget, because a
+//     1-core container legitimately measures a ~1x "speedup"
+//     (bench/parallel_rig sweeps {1,2,4,8} in more detail).
 //
 // Output: the common bench JSON envelope with metrics {before?, after,
 // improvement?}. --before <path> splices a previous report in as "before"
@@ -23,9 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "scenario/cluster_rig.h"
+#include "scenario/sharded_rig.h"
 #include "sim/event_queue.h"
 #include "util/alloc_counter.h"
 #include "util/bench_cli.h"
@@ -236,8 +244,58 @@ RigResult run_rig(const ClusterRigConfig& cfg) {
   return r;
 }
 
+struct ParallelResult {
+  std::int64_t shards = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t cross_packets = 0;
+  double w1_packets_per_sec = 0;
+  double w4_packets_per_sec = 0;
+  double speedup_4w = 0;
+  std::uint64_t digest = 0;
+  bool digest_match = false;
+};
+
+ParallelResult run_parallel(std::int64_t seed, int shards, SimTime duration) {
+  ShardedRigConfig cfg;
+  cfg.num_shards = shards;
+  cfg.shard = rig_config(seed, duration, /*servers=*/2, /*clients=*/2);
+  cfg.remote_clients_per_shard = 1;
+  cfg.remote_client.connections = 2;
+  cfg.remote_client.pipeline = 2;
+  cfg.remote_client.requests_per_conn = 50;
+
+  ParallelResult r;
+  r.shards = shards;
+  double walls[2] = {0, 0};
+  std::uint64_t digests[2] = {0, 0};
+  const int workers[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    cfg.workers = workers[i];
+    ShardedRig rig{cfg};
+    const auto start = Clock::now();
+    rig.run();
+    walls[i] = wall_seconds(start, Clock::now());
+    digests[i] = rig.combined_digest();
+    if (i == 0) {
+      r.packets = rig.total_packets_sent();
+      r.cross_packets = rig.cross_packets();
+    }
+  }
+  r.w1_packets_per_sec = static_cast<double>(r.packets) / walls[0];
+  r.w4_packets_per_sec = static_cast<double>(r.packets) / walls[1];
+  r.speedup_4w =
+      walls[1] > 0 ? r.w1_packets_per_sec > 0
+                         ? r.w4_packets_per_sec / r.w1_packets_per_sec
+                         : 0.0
+                   : 0.0;
+  r.digest = digests[0];
+  r.digest_match = digests[0] == digests[1];
+  return r;
+}
+
 void write_metrics(JsonWriter& w, const EqResult& steady,
-                   const EqResult& cancel, const RigResult& rig) {
+                   const EqResult& cancel, const RigResult& rig,
+                   const ParallelResult& par) {
   w.kv("eq_steady_events_per_sec", steady.events_per_sec);
   w.kv("eq_steady_ns_per_event", steady.ns_per_event);
   w.kv("eq_cancel_heavy_events_per_sec", cancel.events_per_sec);
@@ -261,6 +319,18 @@ void write_metrics(JsonWriter& w, const EqResult& steady,
                 static_cast<unsigned long long>(rig.digest));
   w.kv("rig_digest", hex);
   w.kv("rig_digest_match", rig.digest_match);
+  w.kv("rig_parallel_shards", par.shards);
+  w.kv("rig_parallel_hw_threads",
+       static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  w.kv("rig_parallel_packets", par.packets);
+  w.kv("rig_parallel_cross_packets", par.cross_packets);
+  w.kv("rig_parallel_w1_packets_per_sec", par.w1_packets_per_sec);
+  w.kv("rig_parallel_w4_packets_per_sec", par.w4_packets_per_sec);
+  w.kv("rig_parallel_speedup_4w", par.speedup_4w);
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(par.digest));
+  w.kv("rig_parallel_digest", hex);
+  w.kv("rig_parallel_digest_match", par.digest_match);
 }
 
 // The keys every metrics object must carry; the smoke test and --before
@@ -281,6 +351,15 @@ const char* const kBatchMetricKeys[] = {
     "rig_pool_slots", "rig_pool_high_water",
 };
 
+// Parallel-rig keys: mandatory in "after", optional in a spliced "before" —
+// reports written before the sharded rig existed predate these metrics.
+const char* const kParallelMetricKeys[] = {
+    "rig_parallel_shards",             "rig_parallel_hw_threads",
+    "rig_parallel_w1_packets_per_sec", "rig_parallel_w4_packets_per_sec",
+    "rig_parallel_speedup_4w",         "rig_parallel_cross_packets",
+    "rig_parallel_digest",             "rig_parallel_digest_match",
+};
+
 bool validate_metrics_object(const JsonValue& metrics, bool require_batch,
                              std::string* error) {
   for (const char* key : kRequiredMetricKeys) {
@@ -296,6 +375,17 @@ bool validate_metrics_object(const JsonValue& metrics, bool require_batch,
         *error = std::string{"missing metrics key: "} + key;
         return false;
       }
+    }
+    for (const char* key : kParallelMetricKeys) {
+      if (metrics.find(key) == nullptr) {
+        *error = std::string{"missing metrics key: "} + key;
+        return false;
+      }
+    }
+    const JsonValue* pmatch = metrics.find("rig_parallel_digest_match");
+    if (!pmatch->is_bool()) {
+      *error = "rig_parallel_digest_match is not a bool";
+      return false;
     }
   }
   const JsonValue* match = metrics.find("rig_digest_match");
@@ -431,6 +521,23 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(rig.digest),
                rig.digest_match ? "reproduced" : "MISMATCH");
 
+  const int par_shards = cli.quick() ? 4 : 8;
+  const SimTime par_ms = cli.quick() ? ms(300) : ms(1000);
+  std::fprintf(stderr,
+               "parallel rig: %d shards x %lldms sim, workers {1, 4}, "
+               "%u hardware thread(s)...\n",
+               par_shards, static_cast<long long>(par_ms / ms(1)),
+               std::thread::hardware_concurrency());
+  const ParallelResult par = run_parallel(cli.seed(), par_shards, par_ms);
+  std::fprintf(stderr,
+               "  w1 %.0fk pkts/s, w4 %.0fk pkts/s (%.2fx), "
+               "%llu cross, digest %016llx %s\n",
+               par.w1_packets_per_sec / 1e3, par.w4_packets_per_sec / 1e3,
+               par.speedup_4w,
+               static_cast<unsigned long long>(par.cross_packets),
+               static_cast<unsigned long long>(par.digest),
+               par.digest_match ? "reproduced" : "MISMATCH");
+
   // Optional baseline to splice in as "before".
   std::unique_ptr<JsonValue> before_root;
   const JsonValue* before = nullptr;
@@ -458,7 +565,7 @@ int main(int argc, char** argv) {
       w.value_null();
     }
     w.key("after").begin_object();
-    write_metrics(w, steady, cancel, rig);
+    write_metrics(w, steady, cancel, rig, par);
     w.end_object();
     w.key("improvement");
     if (before != nullptr) {
@@ -489,6 +596,11 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (!rig.digest_match) {
     std::fprintf(stderr, "FAIL: same-seed rig digests diverged\n");
+    rc = 1;
+  }
+  if (!par.digest_match) {
+    std::fprintf(stderr,
+                 "FAIL: sharded rig digests diverged across worker counts\n");
     rc = 1;
   }
   if (!cli.json_path().empty()) {

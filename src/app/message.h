@@ -26,6 +26,13 @@ struct KvMessage final : AppPayload {
   std::uint32_t value_len = 0;  // SET request / GET-hit response value bytes
   bool hit = false;             // GET response only
   SimTime created_at = kNoTime;  // stamped at the client on request creation
+
+  // KV messages cross shard boundaries (remote clients in the sharded rig);
+  // the clone is a plain heap copy, deliberately NOT pool-backed — the copy
+  // is owned by the receiving shard, whose pools it does not belong to.
+  std::shared_ptr<const AppPayload> clone_detached() const override {
+    return std::make_shared<KvMessage>(*this);
+  }
 };
 
 // Header sizes loosely modelled on memcached's text protocol framing.

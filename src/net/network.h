@@ -79,6 +79,20 @@ class PacketObserver {
   virtual void on_packet(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
 };
 
+// Escape hatch for cross-shard traffic (sim/parallel.h): consulted when a
+// send finds no (from, to) link. Returning true means the egress owns the
+// packet's onward journey — the packet was stamped and observed normally and
+// the egress copied what it needs (the local PacketRef still recycles
+// locally). Returning false falls through to the missing-link assertion, so
+// a typo'd address stays a programming error. The fault interceptor is
+// deliberately NOT consulted for egressed packets: cross-shard trunks are
+// the synchronization boundary, not a faultable link (DESIGN.md).
+class RemoteEgress {
+ public:
+  virtual ~RemoteEgress() = default;
+  virtual bool forward(const Packet& pkt, Ipv4 from, Ipv4 to) = 0;
+};
+
 // One-stop counters for the fabric: send/drop totals, batch shape, and the
 // packet pool's occupancy statistics.
 struct NetStats {
@@ -87,6 +101,7 @@ struct NetStats {
   std::uint64_t batches = 0;          // send_batch() calls
   std::uint64_t batch_packets = 0;    // packets that arrived via send_batch()
   std::uint64_t max_batch = 0;        // largest batch seen
+  std::uint64_t remote_packets = 0;   // handed to the remote egress
   PacketPool::Stats pool;
 };
 
@@ -141,6 +156,16 @@ class Network {
     interceptor_ = interceptor;
   }
 
+  // Installs (or clears, with nullptr) the cross-shard egress. Borrowed.
+  void set_remote_egress(RemoteEgress* egress) { remote_ = egress; }
+
+  // Host lookup by address; nullptr when nothing is attached there. The
+  // cross-shard ingress uses this to deliver into the local topology.
+  Host* host_at(Ipv4 addr) const {
+    const auto it = hosts_.find(addr);
+    return it == hosts_.end() ? nullptr : it->second;
+  }
+
   NetStats stats() const {
     NetStats s;
     s.packets_sent = packets_sent_;
@@ -148,6 +173,7 @@ class Network {
     s.batches = batches_;
     s.batch_packets = batch_packets_;
     s.max_batch = max_batch_;
+    s.remote_packets = remote_packets_;
     s.pool = pool_.stats();
     return s;
   }
@@ -165,18 +191,24 @@ class Network {
   // Transmits `pkt` on `link` toward `dst` after `hold` of simulated time.
   void transmit_held(Link& link, Host& dst, PacketRef pkt, SimTime hold);
 
+  // Stamp-and-egress paths for destinations with no local link.
+  std::uint32_t remote_send_batch(Ipv4 from, Ipv4 to, PacketBatch& batch);
+  bool remote_send(Ipv4 from, Ipv4 to, PacketRef pkt);
+
   Simulator& sim_;
   PacketPool pool_;
   std::unordered_map<Ipv4, Host*> hosts_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
   PacketObserver* observer_ = nullptr;
   SendInterceptor* interceptor_ = nullptr;
+  RemoteEgress* remote_ = nullptr;
   std::uint64_t next_pkt_id_ = 1;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batch_packets_ = 0;
   std::uint64_t max_batch_ = 0;
+  std::uint64_t remote_packets_ = 0;
 };
 
 // A node attached to the network. Subclasses implement handle_batch() (or

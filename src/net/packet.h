@@ -26,6 +26,15 @@ namespace inband {
 // Base class for application payload objects carried inside packets.
 struct AppPayload {
   virtual ~AppPayload() = default;
+
+  // Deep copy with fresh ownership, required when a packet crosses a shard
+  // boundary (net/shard_channel.h): the clone must share no control block or
+  // pooled storage with the original, because the original's teardown stays
+  // on the producing shard's thread. Payload types that never cross shards
+  // may keep the default; the boundary asserts on it.
+  virtual std::shared_ptr<const AppPayload> clone_detached() const {
+    return nullptr;
+  }
 };
 
 // A message whose final byte lies within this segment's payload.
@@ -182,5 +191,13 @@ struct Packet {
 };
 
 std::string format_packet(const Packet& p);
+
+// Field-by-field copy whose message refs are deep clones with fresh
+// ownership (AppPayload::clone_detached). The cross-shard ingress uses this
+// instead of Packet's implicit copy, whose MsgList copy would share
+// refcounted state across the shard boundary: the consumer's copy could then
+// be the last ref to die, running a pooled deleter on the wrong thread.
+// Asserts if a carried payload type does not implement clone_detached().
+Packet detach_packet_copy(const Packet& src);
 
 }  // namespace inband

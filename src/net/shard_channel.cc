@@ -1,0 +1,17 @@
+#include "net/shard_channel.h"
+
+namespace inband {
+
+Packet ShardChannel::take_detached(SimTime* deliver_at, Ipv4* from,
+                                   Ipv4* to) {
+  const CrossPacket* head = q_.peek();
+  INBAND_ASSERT(head != nullptr, "take_detached on empty channel");
+  if (deliver_at != nullptr) *deliver_at = head->deliver_at;
+  if (from != nullptr) *from = head->from;
+  if (to != nullptr) *to = head->to;
+  Packet out = detach_packet_copy(head->pkt);
+  q_.consume();
+  return out;
+}
+
+}  // namespace inband

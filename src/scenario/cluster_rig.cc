@@ -7,17 +7,8 @@
 
 namespace inband {
 
-namespace {
-constexpr Ipv4 client_addr(int i) {
-  return make_ipv4(10, 0, 0, static_cast<std::uint8_t>(1 + i));
-}
-constexpr Ipv4 vip_addr(int i) {
-  return make_ipv4(10, 1, 0, static_cast<std::uint8_t>(1 + i));
-}
-constexpr Ipv4 server_addr(int i) {
-  return make_ipv4(10, 2, 0, static_cast<std::uint8_t>(1 + i));
-}
-}  // namespace
+// Address helpers (rig_client_addr & co.) live in cluster_rig.h so the
+// sharded rig can route into another shard's plan.
 
 const char* lb_mode_name(LbMode mode) {
   switch (mode) {
@@ -41,11 +32,14 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
   INBAND_ASSERT(config_.num_lbs >= 1);
   INBAND_ASSERT(config_.num_client_hosts >= 1);
   INBAND_ASSERT(config_.victim < config_.num_servers);
+  INBAND_ASSERT(config_.addr_base >= 0 && config_.addr_base <= 62,
+                "addr_base out of the 10.(4*base+k).0.x plan");
+  const int base = config_.addr_base;
 
   // Servers.
   BackendPool pool;
   for (int s = 0; s < config_.num_servers; ++s) {
-    auto host = std::make_unique<TcpHost>(sim_, net_, server_addr(s),
+    auto host = std::make_unique<TcpHost>(sim_, net_, rig_server_addr(base, s),
                                           "server" + std::to_string(s),
                                           config_.tcp, config_.seed + 100 +
                                               static_cast<std::uint64_t>(s));
@@ -53,7 +47,7 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
     sc.seed = config_.seed + 200 + static_cast<std::uint64_t>(s);
     servers_.push_back(std::make_unique<KvServer>(*host, sc));
     pool.push_back({static_cast<BackendId>(s), "server" + std::to_string(s),
-                    server_addr(s), 1, true});
+                    rig_server_addr(base, s), 1, true});
     server_hosts_.push_back(std::move(host));
   }
 
@@ -63,17 +57,17 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
     auto* inband = dynamic_cast<InbandLbPolicy*>(policy.get());
     inband_policies_.push_back(inband);
     lbs_.push_back(std::make_unique<LoadBalancer>(
-        sim_, net_, vip_addr(l), "lb" + std::to_string(l), pool,
+        sim_, net_, rig_vip_addr(base, l), "lb" + std::to_string(l), pool,
         std::move(policy)));
     for (int s = 0; s < config_.num_servers; ++s) {
-      net_.add_link(vip_addr(l), server_addr(s),
+      net_.add_link(rig_vip_addr(base, l), rig_server_addr(base, s),
                     {config_.bandwidth_bps, config_.lb_server_delay, 0});
     }
   }
 
   // Clients (assigned to LBs round-robin when there are several).
   for (int c = 0; c < config_.num_client_hosts; ++c) {
-    auto host = std::make_unique<TcpHost>(sim_, net_, client_addr(c),
+    auto host = std::make_unique<TcpHost>(sim_, net_, rig_client_addr(base, c),
                                           "client" + std::to_string(c),
                                           config_.tcp,
                                           config_.seed + 300 +
@@ -83,15 +77,15 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
         static_cast<std::size_t>(c) < config_.client_extra_distance.size()
             ? config_.client_extra_distance[static_cast<std::size_t>(c)]
             : 0;
-    net_.add_link(client_addr(c), vip_addr(lb_index),
+    net_.add_link(rig_client_addr(base, c), rig_vip_addr(base, lb_index),
                   {config_.bandwidth_bps, config_.client_lb_delay + extra, 0});
     for (int s = 0; s < config_.num_servers; ++s) {
       net_.add_link(
-          server_addr(s), client_addr(c),
+          rig_server_addr(base, s), rig_client_addr(base, c),
           {config_.bandwidth_bps, config_.server_client_delay + extra, 0});
     }
     KvClientConfig cc = config_.client;
-    cc.server = Endpoint{vip_addr(lb_index), config_.server.port};
+    cc.server = Endpoint{rig_vip_addr(base, lb_index), config_.server.port};
     cc.seed = config_.seed + 400 + static_cast<std::uint64_t>(c);
     auto client = std::make_unique<KvClient>(*host, cc);
     client->set_recorder(
@@ -105,19 +99,20 @@ ClusterRig::ClusterRig(ClusterRigConfig config)
   if (config_.fault.enabled()) {
     std::vector<FaultLayer::LinkRef> topo;
     for (int c = 0; c < config_.num_client_hosts; ++c) {
-      topo.push_back({client_addr(c), vip_addr(c % config_.num_lbs),
+      topo.push_back({rig_client_addr(base, c),
+                      rig_vip_addr(base, c % config_.num_lbs),
                       LinkScope::kClientToLb, c});
     }
     for (int l = 0; l < config_.num_lbs; ++l) {
       for (int s = 0; s < config_.num_servers; ++s) {
-        topo.push_back(
-            {vip_addr(l), server_addr(s), LinkScope::kLbToServer, s});
+        topo.push_back({rig_vip_addr(base, l), rig_server_addr(base, s),
+                        LinkScope::kLbToServer, s});
       }
     }
     for (int s = 0; s < config_.num_servers; ++s) {
       for (int c = 0; c < config_.num_client_hosts; ++c) {
-        topo.push_back(
-            {server_addr(s), client_addr(c), LinkScope::kServerToClient, s});
+        topo.push_back({rig_server_addr(base, s), rig_client_addr(base, c),
+                        LinkScope::kServerToClient, s});
       }
     }
     fault_ = std::make_unique<FaultLayer>(sim_, net_, config_.fault,
@@ -201,13 +196,15 @@ void ClusterRig::run() {
 void ClusterRig::start() {
   INBAND_ASSERT(!started_, "ClusterRig::start() called twice");
   started_ = true;
-  log_guard_.emplace(sim_);
+  if (config_.install_log_clock) log_guard_.emplace(sim_);
   if (config_.reserve_records > 0) records_.reserve(config_.reserve_records);
 
   if (config_.inject_time < config_.duration && config_.inject_extra > 0) {
     sim_.schedule_at(config_.inject_time, [this] {
+      const int base = config_.addr_base;
       for (int l = 0; l < config_.num_lbs; ++l) {
-        net_.link(vip_addr(l), server_addr(config_.victim))
+        net_.link(rig_vip_addr(base, l),
+                  rig_server_addr(base, config_.victim))
             .set_extra_delay(config_.inject_extra);
       }
       LOG_INFO() << "injected " << format_duration(config_.inject_extra)

@@ -39,10 +39,41 @@ enum class LbMode {
 
 const char* lb_mode_name(LbMode mode);
 
+// The rig's address plan, shared with the sharded rig (which must route to
+// another shard's VIPs and attach its own remote-client hosts). `base` is
+// ClusterRigConfig::addr_base; valid for base in [0, 62], i in [0, 254].
+constexpr Ipv4 rig_client_addr(int base, int i) {
+  return make_ipv4(10, static_cast<std::uint8_t>(4 * base),
+                   0, static_cast<std::uint8_t>(1 + i));
+}
+constexpr Ipv4 rig_vip_addr(int base, int i) {
+  return make_ipv4(10, static_cast<std::uint8_t>(4 * base + 1),
+                   0, static_cast<std::uint8_t>(1 + i));
+}
+constexpr Ipv4 rig_server_addr(int base, int i) {
+  return make_ipv4(10, static_cast<std::uint8_t>(4 * base + 2),
+                   0, static_cast<std::uint8_t>(1 + i));
+}
+constexpr Ipv4 rig_remote_client_addr(int base, int i) {
+  return make_ipv4(10, static_cast<std::uint8_t>(4 * base + 3),
+                   0, static_cast<std::uint8_t>(1 + i));
+}
+
 struct ClusterRigConfig {
   int num_servers = 2;
   int num_lbs = 1;       // >1 => independent LBs sharing the server pool
   int num_client_hosts = 2;
+
+  // Address-plan offset: the rig's subnets are 10.(4*addr_base + k).0.x
+  // (k = 0 clients, 1 VIPs, 2 servers, 3 reserved for a sharded rig's
+  // remote clients). 0 — the default, and the historical plan — for a
+  // standalone rig; the sharded rig gives shard s addr_base = s so every
+  // shard's topology is globally addressable without collisions.
+  int addr_base = 0;
+  // Install this rig's sim clock as the process-wide logging clock between
+  // start() and finish(). The logging clock is a global; a sharded rig runs
+  // many rigs on many threads and must leave it alone (set false there).
+  bool install_log_clock = true;
 
   LbMode mode = LbMode::kInband;
   InbandPolicyConfig inband;  // used when mode == kInband

@@ -50,7 +50,64 @@ bool EventQueue::cancel(EventId id) {
   recycle_slot(index, s);
   INBAND_ASSERT(live_ > 0);
   --live_;
+  // A cancelled event resident in the far heap stays behind as a tombstone
+  // that advance_cursor() only reclaims when its 2^18-tick window rotates in,
+  // so cancel-heavy far-timer workloads would otherwise retain heap entries
+  // unboundedly. Every far tombstone originates from a cancel (entries enter
+  // the heap live and are re-filed only while live), so once the cancels
+  // since the last sweep could account for half the heap, rebuild it without
+  // the dead entries — amortized O(log n) per cancel, and it bounds the heap
+  // at 2x its live occupancy plus the reserve (asserted in test_sim.cc).
+  if (++far_cancels_ >= kFarReserve && 2 * far_cancels_ >= far_keys_.size()) {
+    compact_far();
+  }
   return true;
+}
+
+void EventQueue::compact_far() {
+  far_cancels_ = 0;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < far_keys_.size(); ++i) {
+    const std::uint64_t p = far_payload_[i];
+    if (slot_ref(static_cast<std::uint32_t>(p >> 32)).gen !=
+        static_cast<std::uint32_t>(p)) {
+      continue;  // tombstone
+    }
+    far_keys_[out] = far_keys_[i];
+    far_payload_[out] = p;
+    ++out;
+  }
+  // hotlint:allow(hot-growth): shrinks to the live prefix; capacity retained across compactions
+  far_keys_.resize(out);
+  // hotlint:allow(hot-growth): shrinks to the live prefix; capacity retained across compactions
+  far_payload_.resize(out);
+  if (out < 2) return;
+  // Floyd heapify, in place and allocation-free (this runs inside the
+  // steady-state cancel path, which tests/test_alloc.cc holds to exactly
+  // zero heap allocations): sift every internal node down, co-moving the
+  // payloads. Keys are unique ((time, seq) with a never-reused seq) and
+  // far_pop() always takes the minimum, so the pop sequence depends only
+  // on the key *set* — any valid heap layout pops bit-identically.
+  for (std::size_t node = ((out - 2) >> 2) + 1; node-- > 0;) {
+    const Key k = far_keys_[node];
+    const std::uint64_t p = far_payload_[node];
+    std::size_t i = node;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= out) break;
+      std::size_t best = first;
+      const std::size_t last = first + 4 < out ? first + 4 : out;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (far_keys_[c] < far_keys_[best]) best = c;
+      }
+      if (k < far_keys_[best]) break;
+      far_keys_[i] = far_keys_[best];
+      far_payload_[i] = far_payload_[best];
+      i = best;
+    }
+    far_keys_[i] = k;
+    far_payload_[i] = p;
+  }
 }
 
 // Slow path of front_entry(): the active bucket is drained, so move the

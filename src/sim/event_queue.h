@@ -412,6 +412,10 @@ class EventQueue {
   }
   WheelEntry far_pop();
 
+  // Rebuilds the far heap without its tombstones; see cancel() for the
+  // trigger policy. Keeps the (time, seq) pop order bit-identical.
+  void compact_far();
+
   static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
     return (static_cast<EventId>(slot) + 1) << 32 | gen;
   }
@@ -482,6 +486,7 @@ class EventQueue {
   // an audit running inside the callback must expect one extra occupant.
   std::uint32_t firing_slot_ = kNullSlot;
   std::uint64_t retired_slots_ = 0;  // permanently parked by the gen guard
+  std::uint64_t far_cancels_ = 0;    // cancels since the last far compaction
   std::uint64_t next_seq_ = 1;       // monotonic push counter (never reused)
   std::size_t live_ = 0;
   SimTime last_popped_ = kNoTime;

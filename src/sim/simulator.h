@@ -53,6 +53,20 @@ class Simulator {
   // Executes exactly one event if any; returns false when the queue is empty.
   INBAND_HOT bool step();
 
+  // Absolute time of the earliest pending event; kNoTime when none. Non-const
+  // because inspecting the head may advance the wheel cursor.
+  SimTime next_event_time() { return queue_.next_time(); }
+
+  // Commits the clock to t (>= now) without running anything. The parallel
+  // driver uses this to advance to a cross-shard delivery time or to the run
+  // end; the caller guarantees no pending event lies in (now, t).
+  void advance_to(SimTime t) {
+    INBAND_ASSERT(t >= now_, "advancing the clock into the past");
+    INBAND_DCHECK(queue_.next_time() == kNoTime || queue_.next_time() >= t,
+                  "advance_to would skip a pending event");
+    now_ = t;
+  }
+
   // Makes run()/run_until() return after the current handler completes.
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }

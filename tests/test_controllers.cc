@@ -23,6 +23,8 @@
 
 #include "check/state_digest.h"
 #include "core/controller_zoo.h"
+#include "core/gradient_controller.h"
+#include "core/server_latency_tracker.h"
 #include "scenario/cluster_rig.h"
 
 namespace inband {
@@ -345,6 +347,61 @@ TEST(ShareMetrics, TotalVariationSeesOscillationAndRest) {
   // Windowing excludes transitions outside [from, to).
   EXPECT_DOUBLE_EQ(
       weight_total_variation_per_epoch(herd, ms(1), ms(4), ms(5)), 0.0);
+}
+
+// Issue 10 claimed the per-server step decay was a shift derived from epochs
+// capped at max_decay_epochs=63 — UB-adjacent on 64-bit and collapsing the
+// step to zero before the documented cap. The law as implemented derives
+// eta from min(epochs, cap) through a double sqrt: no shift, no UB, and the
+// documented floor is step / sqrt(1 + 63) = step / 8. This regression test
+// pins the epoch-63 boundary so neither failure mode can be introduced: at
+// and past the cap the capped law's decisions must be bit-equal to a
+// constant-step law running at exactly step/8 (the step never decays
+// further, never collapses to zero), and strictly larger before the cap.
+TEST(GradientDescent, StepDecayFloorsAtStepOverEightAtEpoch63) {
+  GradientDescentConfig capped_cfg;
+  capped_cfg.epoch = ms(2);
+  capped_cfg.min_samples = 1;
+  capped_cfg.deadband = 0.0;
+  capped_cfg.warmup = 0;
+  ASSERT_EQ(capped_cfg.max_decay_epochs, 63u);
+  GradientDescentConfig floor_cfg = capped_cfg;
+  floor_cfg.decay_step = false;
+  floor_cfg.step = capped_cfg.step / 8.0;  // the documented eta floor
+  GradientDescentController capped{capped_cfg};
+  GradientDescentController floored{floor_cfg};
+
+  ServerLatencyTracker capped_tracker{2};
+  ServerLatencyTracker floored_tracker{2};
+  const std::vector<double> uniform{0.5, 0.5};
+  int compared_past_cap = 0;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    const SimTime now = ms(2) * (epoch + 1);
+    for (ServerLatencyTracker* t : {&capped_tracker, &floored_tracker}) {
+      t->record(0, now, us(200));  // persistent 2x gap: constant gradient
+      t->record(1, now, us(100));
+    }
+    const std::uint64_t epochs_before = capped.epochs_seen(0);
+    const auto a = capped.control_step(capped_tracker, uniform, now);
+    const auto b = floored.control_step(floored_tracker, uniform, now);
+    ASSERT_TRUE(a.has_value() && b.has_value()) << "epoch " << epoch;
+    ASSERT_TRUE(a->is_weight_vector() && b->is_weight_vector());
+    const double slow_a = (*a->weights)[0];
+    const double slow_b = (*b->weights)[0];
+    // Both laws move weight off the slow backend every epoch — the step
+    // never collapses to zero, however long the calm stretch.
+    EXPECT_LT(slow_a, 0.5);
+    if (epochs_before >= 63) {
+      // At the cap (and forever after): exactly the floored constant step.
+      EXPECT_DOUBLE_EQ(slow_a, slow_b) << "epochs_before=" << epochs_before;
+      ++compared_past_cap;
+    } else {
+      // Before the cap eta is strictly larger, so the capped law moves more.
+      EXPECT_LT(slow_a, slow_b) << "epochs_before=" << epochs_before;
+    }
+  }
+  EXPECT_EQ(capped.epochs_seen(0), 200u);
+  EXPECT_GT(compared_past_cap, 100);
 }
 
 TEST(ShareMetrics, DrainDetectorFindsFirstCrossing) {

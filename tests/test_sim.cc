@@ -2,6 +2,7 @@
 // periodic tasks, run_until semantics).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <utility>
 #include <vector>
@@ -440,6 +441,10 @@ struct EventQueueTestPeer {
   static std::uint64_t retired_slots(const EventQueue& q) {
     return q.retired_slots_;
   }
+  static std::size_t far_heap_size(const EventQueue& q) {
+    return q.far_keys_.size();
+  }
+  static std::size_t far_reserve() { return EventQueue::kFarReserve; }
 };
 
 namespace {
@@ -460,6 +465,39 @@ TEST(EventQueue, GenerationWraparoundRetiresSlot) {
   EXPECT_NE(EventQueueTestPeer::slot_of(next), 0u);
   EXPECT_FALSE(q.cancel(last));
   EXPECT_TRUE(q.cancel(next));
+}
+
+// Regression: a cancelled event resident in the far heap used to stay behind
+// as a tombstone until its 2^18-tick window rotated in, so a cancel-heavy
+// far-timer workload (schedule a batch of far-future timeouts, cancel nearly
+// all of them, repeat) retained heap entries unboundedly — before the
+// compaction in EventQueue::cancel(), the occupancy below ends each round
+// near 8 + 1024 * rounds instead of staying flat.
+TEST(EventQueue, FarHeapCompactsTombstonesUnderCancelHeavyCancels) {
+  EventQueue q;
+  constexpr SimTime kFar = SimTime{1} << 20;  // beyond the 2^18 horizon
+  std::vector<EventId> keep;
+  for (SimTime i = 0; i < 8; ++i) keep.push_back(q.push(kFar + i, [] {}));
+  std::size_t high_water = 0;
+  for (int round = 0; round < 64; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 1024; ++i) {
+      ids.push_back(q.push(kFar + 1000 + round * 1024 + i, [] {}));
+    }
+    for (EventId id : ids) ASSERT_TRUE(q.cancel(id));
+    // Measured after each round's cancels: tombstones left since the last
+    // compaction are bounded, so occupancy must not accumulate across rounds.
+    high_water =
+        std::max(high_water, EventQueueTestPeer::far_heap_size(q));
+  }
+  EXPECT_EQ(q.size(), keep.size());
+  EXPECT_LE(high_water,
+            2 * q.size() + 2 * EventQueueTestPeer::far_reserve());
+  // Compaction preserves the (time, seq) pop order of the survivors.
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(q.pop().t, kFar + static_cast<SimTime>(i));
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "net/trace.h"
 #include "tcp/seq.h"
 #include "tcp/stack.h"
+#include "util/rng.h"
 
 namespace inband {
 namespace {
@@ -96,6 +97,80 @@ TEST(SendBuffer, TracksOffsetsAndMessages) {
   EXPECT_EQ(msgs[0].end_offset, 101u);
   EXPECT_EQ(sb.messages_in(1, 151).size(), 2u);
   EXPECT_EQ(sb.messages_in(101, 150).size(), 0u);  // second ends at 151
+}
+
+// Issue 10 flagged the (range_start, range_end] comparator for mishandling a
+// message whose end_offset equals range_start — retransmission segments that
+// split exactly at a message boundary could then pick up or drop the
+// boundary message. The intended semantics: a message belongs to the one
+// segment whose byte range contains its final byte (the interval is open on
+// the left, closed on the right). The comparator implements exactly that;
+// these tests pin every boundary case so it cannot regress silently.
+TEST(SendBuffer, MessagesInExactBoundarySemantics) {
+  SendBuffer sb;
+  sb.append_message(std::make_shared<TestPayload>(1), 100);  // ends at 101
+  sb.append_message(std::make_shared<TestPayload>(2), 50);   // ends at 151
+  // A message ending exactly at range_end belongs to that segment...
+  const auto first = sb.messages_in(1, 101);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].end_offset, 101u);
+  // ...and is excluded from the next segment, whose range starts there.
+  const auto second = sb.messages_in(101, 151);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].end_offset, 151u);
+  // Zero-length range at a boundary matches nothing.
+  EXPECT_EQ(sb.messages_in(101, 101).size(), 0u);
+  // Range ending one byte short of the boundary message excludes it; range
+  // starting one byte earlier picks it up.
+  EXPECT_EQ(sb.messages_in(1, 100).size(), 0u);
+  EXPECT_EQ(sb.messages_in(100, 101).size(), 1u);
+  // Whole-stream query sees both, in order.
+  const auto all = sb.messages_in(0, 151);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].end_offset, 101u);
+  EXPECT_EQ(all[1].end_offset, 151u);
+}
+
+// Differential check: for any segmentation of the stream — cut points biased
+// onto exact message boundaries, as retransmit splits produce — walking the
+// segments in order yields every message exactly once, each inside the one
+// segment containing its final byte.
+TEST(SendBuffer, MessagesInPartitionUnderArbitrarySegmentation) {
+  Rng rng{0x5e9b0ffe7ULL};
+  for (int trial = 0; trial < 200; ++trial) {
+    SendBuffer sb;
+    std::vector<std::uint64_t> ends;
+    const int messages = static_cast<int>(rng.uniform_u64(1, 12));
+    for (int m = 0; m < messages; ++m) {
+      const auto wire = static_cast<std::uint32_t>(rng.uniform_u64(1, 7));
+      sb.append_message(std::make_shared<TestPayload>(m), wire);
+      ends.push_back(sb.end());
+    }
+    // Random cut points over [1, end], half of them snapped onto a message
+    // boundary (the adversarial case).
+    std::vector<std::uint64_t> cuts{1, sb.end()};
+    const int extra = static_cast<int>(rng.uniform_u64(0, 6));
+    for (int c = 0; c < extra; ++c) {
+      if (rng.bernoulli(0.5)) {
+        cuts.push_back(ends[rng.uniform_u64(0, ends.size() - 1)]);
+      } else {
+        cuts.push_back(rng.uniform_u64(1, sb.end()));
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    std::vector<std::uint64_t> seen;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const auto msgs = sb.messages_in(cuts[i], cuts[i + 1]);
+      for (std::uint32_t j = 0; j < msgs.size(); ++j) {
+        EXPECT_GT(msgs[j].end_offset, cuts[i]);
+        EXPECT_LE(msgs[j].end_offset, cuts[i + 1]);
+        seen.push_back(msgs[j].end_offset);
+      }
+    }
+    EXPECT_EQ(seen, ends) << "segmentation dropped or duplicated a message "
+                             "(trial " << trial << ")";
+  }
 }
 
 TEST(SendBuffer, ReleaseAckedDropsCoveredMessages) {

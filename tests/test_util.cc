@@ -1,7 +1,9 @@
-// Unit tests: util module (time, rng, csv, flags, logging).
+// Unit tests: util module (time, rng, csv, flags, logging, ring buffer).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <deque>
 #include <numeric>
 #include <sstream>
 
@@ -9,6 +11,7 @@
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -391,6 +394,77 @@ TEST(AssertMacros, AuditNeverAbortsWhenDisabled) {
   SUCCEED();
 }
 #endif
+
+// --- ring buffer ---
+
+// Growth with a wrapped head: fill to capacity, pop past the midpoint, push
+// until the tail wraps in front of the head, then push one more so grow()
+// relocates a ring whose logical order straddles the physical end. The
+// relocation must preserve FIFO order (issue 10 flagged this path; pinned
+// here against std::deque).
+TEST(RingBuffer, GrowWithWrappedHeadPreservesFifo) {
+  RingBuffer<std::uint64_t> ring;
+  std::deque<std::uint64_t> oracle;
+  std::uint64_t next = 0;
+  auto push = [&] {
+    ring.push(next);
+    oracle.push_back(next);
+    ++next;
+  };
+  auto pop = [&] {
+    ASSERT_EQ(ring.front(), oracle.front());
+    ring.pop();
+    oracle.pop_front();
+  };
+  for (int i = 0; i < 16; ++i) push();  // at the initial capacity of 16
+  ASSERT_EQ(ring.capacity(), 16u);
+  for (int i = 0; i < 10; ++i) pop();   // head at physical index 10
+  for (int i = 0; i < 10; ++i) push();  // tail wrapped to physical index 10
+  push();  // occupancy 17: grows while head > tail physically
+  ASSERT_EQ(ring.capacity(), 32u);
+  ASSERT_EQ(ring.size(), oracle.size());
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(ring[i], oracle[i]) << "post-growth order diverged at " << i;
+  }
+  while (!oracle.empty()) pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+// Randomized differential test vs std::deque: biased push/pop phases drive
+// repeated growths at arbitrary wrap positions; every pop checks front() and
+// every growth checks the full logical order.
+TEST(RingBuffer, RandomizedDifferentialVsDeque) {
+  Rng rng{0x10edb4ffULL};
+  RingBuffer<std::uint64_t> ring;
+  std::deque<std::uint64_t> oracle;
+  std::uint64_t next = 0;
+  std::size_t growths = 0;
+  for (int step = 0; step < 200000; ++step) {
+    // Alternate push-heavy and pop-heavy phases so occupancy sweeps across
+    // capacity boundaries instead of hovering.
+    const double push_p = (step / 5000) % 2 == 0 ? 0.7 : 0.3;
+    if (oracle.empty() || rng.bernoulli(push_p)) {
+      const std::size_t cap = ring.capacity();
+      ring.push(next);
+      oracle.push_back(next);
+      ++next;
+      if (ring.capacity() != cap) {
+        ++growths;
+        ASSERT_EQ(ring.size(), oracle.size());
+        for (std::size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ(ring[i], oracle[i])
+              << "growth #" << growths << " broke order at " << i;
+        }
+      }
+    } else {
+      ASSERT_EQ(ring.front(), oracle.front());
+      ring.pop();
+      oracle.pop_front();
+    }
+    ASSERT_EQ(ring.size(), oracle.size());
+  }
+  EXPECT_GE(growths, 5u) << "workload never exercised growth";
+}
 
 }  // namespace
 }  // namespace inband
